@@ -1,0 +1,112 @@
+"""Figure 5: ULL-Flash vs NVMe SSD device characterisation.
+
+* Figure 5a — average 4 KB access latency of DDR4 vs ULL-Flash,
+* Figure 5b — 4 KB latency vs I/O queue depth (1..32) for both SSDs,
+* Figure 5c — bandwidth vs I/O queue depth for both SSDs.
+
+The paper's headline observations reproduced here: the ULL-Flash 4 KB read
+sits within a small factor of a DDR4 page access (8 us vs 2.4 us class),
+its latency stays flat as the queue deepens while the conventional NVMe SSD
+degrades, and it reaches peak bandwidth at much lower queue depths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.reporting import format_series, format_table
+from repro.config import DDRConfig
+from repro.flash.ssd import SSD, make_ssd
+from repro.memory.dram import DRAMDevice
+from repro.units import GB, KB, MB, to_us, bandwidth_gbps
+
+from conftest import emit, run_once
+
+QUEUE_DEPTHS = [1, 2, 4, 8, 16, 32]
+DEVICE_CAPACITY = MB(512)
+IO_SIZE = KB(4)
+IOS_PER_DEPTH = 64
+
+
+def _drive(ssd: SSD, depth: int, is_write: bool, sequential: bool) -> Dict[str, float]:
+    """Issue IOS_PER_DEPTH 4 KB requests keeping *depth* of them in flight."""
+    ssd.precondition(0, min(ssd.logical_pages, 4 * IOS_PER_DEPTH * depth))
+    latencies: List[float] = []
+    finish_times: List[float] = []
+    submit = 0.0
+    for index in range(IOS_PER_DEPTH):
+        offset = (index * IO_SIZE if sequential
+                  else ((index * 7919) % (ssd.capacity_bytes // IO_SIZE)) * IO_SIZE)
+        result = (ssd.write(offset, IO_SIZE, submit)
+                  if is_write else ssd.read(offset, IO_SIZE, submit))
+        latencies.append(result.latency_ns)
+        finish_times.append(result.finish_ns)
+        # A queue of the given depth keeps `depth` commands outstanding: the
+        # next submission happens as soon as a slot frees.
+        window = finish_times[-depth:] if depth <= len(finish_times) else finish_times
+        submit = max(submit, min(window)) if len(finish_times) >= depth else submit
+    elapsed = max(finish_times)
+    return {
+        "latency_us": to_us(sum(latencies) / len(latencies)),
+        "bandwidth_gbps": bandwidth_gbps(IOS_PER_DEPTH * IO_SIZE, elapsed),
+    }
+
+
+def _figure_5a() -> Dict[str, Dict[str, float]]:
+    dram = DRAMDevice(DDRConfig(), GB(1))
+    ull = make_ssd("ull-flash", capacity_bytes=DEVICE_CAPACITY)
+    ull.precondition(0, 256)
+    read = ull.read(0, IO_SIZE, 0.0)
+    write = ull.write(IO_SIZE, IO_SIZE, read.finish_ns)
+    return {
+        "DDR4": {"read_us": to_us(dram.bulk_access_ns(IO_SIZE)),
+                 "write_us": to_us(dram.bulk_access_ns(IO_SIZE))},
+        "ULL-Flash": {"read_us": to_us(read.latency_ns),
+                      "write_us": to_us(write.latency_ns)},
+    }
+
+
+def _sweep(device_kind: str, is_write: bool, sequential: bool,
+           metric: str) -> Dict[str, float]:
+    series = {}
+    for depth in QUEUE_DEPTHS:
+        ssd = make_ssd(device_kind, capacity_bytes=DEVICE_CAPACITY)
+        series[str(depth)] = _drive(ssd, depth, is_write, sequential)[metric]
+    return series
+
+
+def test_fig05_ull_flash_characterization(benchmark):
+    def experiment():
+        fig5a = _figure_5a()
+        latency_series = {
+            "ULL seqRd": _sweep("ull-flash", False, True, "latency_us"),
+            "ULL rndRd": _sweep("ull-flash", False, False, "latency_us"),
+            "NVMe seqRd": _sweep("nvme-ssd", False, True, "latency_us"),
+            "NVMe rndRd": _sweep("nvme-ssd", False, False, "latency_us"),
+        }
+        bandwidth_series = {
+            "ULL seqRd": _sweep("ull-flash", False, True, "bandwidth_gbps"),
+            "ULL seqWr": _sweep("ull-flash", True, True, "bandwidth_gbps"),
+            "NVMe seqRd": _sweep("nvme-ssd", False, True, "bandwidth_gbps"),
+            "NVMe seqWr": _sweep("nvme-ssd", True, True, "bandwidth_gbps"),
+        }
+        return fig5a, latency_series, bandwidth_series
+
+    fig5a, latency_series, bandwidth_series = run_once(benchmark, experiment)
+
+    emit()
+    emit(format_table(fig5a, title="Figure 5a: 4KB access latency (us)"))
+    emit()
+    emit(format_series(latency_series,
+                        title="Figure 5b: 4KB read latency (us) vs queue depth"))
+    emit()
+    emit(format_series(bandwidth_series,
+                        title="Figure 5c: bandwidth (GB/s) vs queue depth"))
+
+    # Shape checks mirroring the paper's observations.
+    assert fig5a["ULL-Flash"]["read_us"] < 15.0
+    assert fig5a["ULL-Flash"]["read_us"] > fig5a["DDR4"]["read_us"]
+    # ULL-Flash latency stays flat with depth; the conventional SSD is slower.
+    assert latency_series["ULL rndRd"]["32"] < latency_series["NVMe rndRd"]["32"]
+    # ULL-Flash delivers more bandwidth than the NVMe SSD.
+    assert bandwidth_series["ULL seqRd"]["32"] > bandwidth_series["NVMe seqRd"]["32"]

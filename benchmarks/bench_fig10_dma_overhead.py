@@ -1,0 +1,54 @@
+"""Figure 10a: interface/DMA share of the memory access time in baseline HAMS.
+
+The loosely-coupled HAMS moves every miss over PCIe after crossing the DDR4
+controller, and the paper measures that this interface time contributes a
+large share (up to ~39-47 %) of the average memory access time — the
+motivation for the aggressive integration.  The benchmark reports, per
+workload, the DMA share of the memory delay for the baseline (loose) design
+and, for contrast, for the advanced (tight) design where the PCIe hop is
+gone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import format_table
+from repro.platforms.hams_platform import HAMSPlatform
+
+from conftest import emit, run_once
+
+WORKLOADS = ["rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns",
+             "update", "rndSel", "seqSel"]
+
+
+def test_fig10a_dma_overhead(benchmark, bench_runner):
+    def experiment():
+        table: Dict[str, Dict[str, float]] = {}
+        for workload in WORKLOADS:
+            trace = bench_runner.trace(workload)
+            loose = HAMSPlatform(bench_runner.config, variant="hams-LE")
+            tight = HAMSPlatform(bench_runner.config, variant="hams-TE")
+            loose.run(trace)
+            tight.run(trace)
+            table[workload] = {
+                "hams-L dma share": loose.controller.dma_overhead_fraction(),
+                "hams-T dma share": tight.controller.dma_overhead_fraction(),
+            }
+        return table
+
+    table = run_once(benchmark, experiment)
+    emit()
+    emit(format_table(table, title="Figure 10a: DMA/interface share of "
+                                    "memory delay", row_header="workload"))
+
+    loose_shares = [row["hams-L dma share"] for row in table.values()]
+    tight_shares = [row["hams-T dma share"] for row in table.values()]
+    average_loose = sum(loose_shares) / len(loose_shares)
+    average_tight = sum(tight_shares) / len(tight_shares)
+    emit(f"\naverage DMA share: hams-L={average_loose:.2f} "
+          f"hams-T={average_tight:.2f}")
+    # The PCIe datapath makes the interface a significant fraction of the
+    # memory time, and the tight integration reduces it.
+    assert average_loose > 0.10
+    assert average_tight < average_loose

@@ -1,0 +1,55 @@
+"""Figure 17: system-level execution-time breakdown (app / OS / SSD).
+
+For every workload the execution time of mmap and of the four HAMS variants
+is decomposed into the application itself, OS (software-stack) time, and raw
+SSD wait time, all normalised to mmap's total.  Reproduced shape: mmap spends
+a large share in OS+SSD that the application cannot hide, while HAMS has no
+OS/SSD component at all (its storage accesses are LD/ST latencies) and a
+shorter total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.breakdown import average_breakdown, execution_breakdown_table
+from repro.analysis.reporting import format_table
+
+from conftest import emit, run_once
+
+PLATFORMS = ["mmap", "hams-LP", "hams-LE", "hams-TP", "hams-TE"]
+WORKLOADS = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN",
+             "seqSel", "rndSel", "seqIns", "rndIns", "update"]
+
+
+def test_fig17_execution_time_breakdown(benchmark, bench_runner):
+    def experiment():
+        per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for workload in WORKLOADS:
+            results = {platform: bench_runner.run_one(platform, workload)
+                       for platform in PLATFORMS}
+            per_workload[workload] = execution_breakdown_table(results,
+                                                               baseline="mmap")
+        return per_workload
+
+    per_workload = run_once(benchmark, experiment)
+
+    for workload in ("seqRd", "rndWr", "update"):
+        emit()
+        emit(format_table(per_workload[workload],
+                           title=f"Figure 17 ({workload}): normalised "
+                                 "execution time", row_header="platform"))
+
+    averaged = average_breakdown(per_workload.values())
+    emit()
+    emit(format_table(averaged, title="Figure 17 (average over workloads)",
+                       row_header="platform"))
+
+    # mmap pays a substantial OS share; HAMS pays none and finishes sooner.
+    assert averaged["mmap"]["os"] > 0.15
+    for variant in ("hams-LE", "hams-TE"):
+        assert averaged[variant]["os"] == 0.0
+        assert averaged[variant]["ssd"] == 0.0
+        assert averaged[variant]["total"] < 1.0
+    # The advanced integration is at least as fast as the baseline design.
+    assert averaged["hams-TE"]["total"] <= averaged["hams-LE"]["total"] * 1.05

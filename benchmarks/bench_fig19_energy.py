@@ -1,0 +1,57 @@
+"""Figure 19: system energy breakdown normalised to mmap.
+
+Energy is split into CPU, system memory (NVDIMM), SSD-internal DRAM and
+Z-NAND, for mmap and the four HAMS variants, each workload normalised to the
+mmap total.  Reproduced shape: every HAMS variant consumes less total energy
+than the MMF design (the paper reports -31%/-41%/-34%/-45% for
+LP/LE/TP/TE), mostly because the shorter runtime cuts CPU + DRAM idle
+energy, and the advanced designs additionally delete the SSD-internal DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.breakdown import average_breakdown, normalised_energy_table
+from repro.analysis.reporting import format_table
+
+from conftest import emit, run_once
+
+PLATFORMS = ["mmap", "hams-LP", "hams-LE", "hams-TP", "hams-TE"]
+WORKLOADS = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN",
+             "seqSel", "rndSel", "seqIns", "rndIns", "update"]
+
+
+def test_fig19_energy_breakdown(benchmark, bench_runner):
+    def experiment():
+        per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for workload in WORKLOADS:
+            results = {platform: bench_runner.run_one(platform, workload)
+                       for platform in PLATFORMS}
+            per_workload[workload] = normalised_energy_table(results,
+                                                             baseline="mmap")
+        return per_workload
+
+    per_workload = run_once(benchmark, experiment)
+
+    for workload in ("seqRd", "rndWr", "update"):
+        emit()
+        emit(format_table(per_workload[workload],
+                           title=f"Figure 19 ({workload}): energy normalised "
+                                 "to mmap", row_header="platform"))
+
+    averaged = average_breakdown(per_workload.values())
+    emit()
+    emit(format_table(averaged, title="Figure 19 (average over workloads)",
+                       row_header="platform"))
+
+    # Every extend-mode HAMS variant saves energy over mmap; the advanced
+    # design saves at least as much as the baseline design.
+    assert averaged["hams-LE"]["total"] < 1.0
+    assert averaged["hams-TE"]["total"] < 1.0
+    assert averaged["hams-TE"]["total"] <= averaged["hams-LE"]["total"] * 1.05
+    # The tight integration removes the SSD-internal DRAM energy entirely.
+    assert averaged["hams-TE"]["internal_dram"] == 0.0
+    assert averaged["hams-TP"]["internal_dram"] == 0.0
+    # CPU + system memory dominate mmap's budget (the idle-energy argument).
+    assert (averaged["mmap"]["cpu"] + averaged["mmap"]["nvdimm"]) > 0.5

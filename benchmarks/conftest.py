@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section VI).  The simulations are deterministic, so each benchmark runs its
+experiment exactly once (``benchmark.pedantic(..., rounds=1)``) and prints
+the same rows/series the figure plots; the pytest-benchmark timing then
+reports how long regenerating that figure takes.
+
+The experiment scale used here is deliberately smaller than the library
+default so the full harness finishes in minutes; the relative platform
+ordering — the part of the figures we reproduce — is insensitive to it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.workloads.registry import ExperimentScale
+
+#: All figure tables are appended here as well as printed, so the numbers
+#: survive pytest's stdout capture of passing tests.
+RESULTS_FILE = Path(__file__).parent / "results" / "figures.txt"
+
+
+def emit(text: str = "") -> None:
+    """Print *text* and append it to ``benchmarks/results/figures.txt``."""
+    print(text)
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    with RESULTS_FILE.open("a", encoding="utf-8") as handle:
+        handle.write(str(text) + "\n")
+
+#: Scale used by the application-level benchmarks (Figures 16-20).
+BENCH_SCALE = ExperimentScale(capacity_scale=1 / 64, min_accesses=1_500,
+                              max_accesses=3_000)
+
+#: Scale used by the motivation benchmarks (Figures 6, 7, 10), which run
+#: more platform/workload combinations per figure.
+SMALL_SCALE = ExperimentScale(capacity_scale=1 / 128, min_accesses=1_000,
+                              max_accesses=2_000)
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> ExperimentRunner:
+    """Runner shared by the application-level figure benchmarks."""
+    return ExperimentRunner(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def small_runner() -> ExperimentRunner:
+    """Runner shared by the motivation-figure benchmarks."""
+    return ExperimentRunner(SMALL_SCALE)
+
+
+def run_once(benchmark, function):
+    """Execute *function* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

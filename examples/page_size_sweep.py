@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""MoS page-size sweep (the Figure 20a sensitivity study).
+
+The MoS page is the unit the HAMS cache logic fills from and evicts to the
+ULL-Flash.  Small pages waste the ULL-Flash's internal parallelism and incur
+frequent fills; huge pages drag too much data on every miss of a random
+workload.  This example sweeps the page size for one sequential and one
+random SQLite workload on advanced HAMS and reports where the sweet spot
+falls (the paper finds 128 KB best for most workloads).
+
+Run with::
+
+    python examples/page_size_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentRunner, ExperimentScale
+from repro.analysis.reporting import format_table
+from repro.platforms.hams_platform import HAMSPlatform
+from repro.units import KB
+
+PAGE_SIZES = [KB(4), KB(16), KB(64), KB(128), KB(256), KB(1024)]
+WORKLOADS = ["seqSel", "rndSel"]
+
+
+def main() -> None:
+    runner = ExperimentRunner(ExperimentScale(capacity_scale=1 / 64,
+                                              max_accesses=3_000))
+    table = {}
+    details = {}
+    for workload in WORKLOADS:
+        trace = runner.trace(workload)
+        table[workload] = {}
+        for page_size in PAGE_SIZES:
+            config = runner.config.with_hams(mos_page_bytes=page_size)
+            platform = HAMSPlatform(config, variant="hams-TE")
+            result = platform.run(trace)
+            label = f"{page_size // 1024}KB"
+            table[workload][label] = result.operations_per_second
+            details[(workload, label)] = result.extras["nvdimm_cache_hit_rate"]
+
+    print(format_table(table, title="hams-TE throughput (ops/s) vs MoS page size",
+                       float_format="{:.0f}", row_header="workload"))
+    print()
+    hit_table = {
+        workload: {label: details[(workload, label)]
+                   for label in (f"{size // 1024}KB" for size in PAGE_SIZES)}
+        for workload in WORKLOADS
+    }
+    print(format_table(hit_table, title="MoS cache hit rate vs page size",
+                       row_header="workload"))
+
+    for workload in WORKLOADS:
+        best = max(table[workload], key=table[workload].get)
+        print(f"\nbest page size for {workload}: {best} "
+              f"(paper: 128KB wins for most workloads)")
+
+
+if __name__ == "__main__":
+    main()

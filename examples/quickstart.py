@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload on advanced HAMS and on the mmap baseline.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. pick an experiment scale (everything — dataset, NVDIMM, ULL-Flash — is
+   shrunk together so the run finishes in seconds),
+2. build the platforms by their paper-legend names,
+3. replay a Table III workload trace,
+4. compare throughput, execution-time breakdown and energy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentRunner, ExperimentScale
+
+
+def main() -> None:
+    scale = ExperimentScale(capacity_scale=1 / 64, max_accesses=4_000)
+    runner = ExperimentRunner(scale)
+    workload = "seqRd"
+
+    print(f"Replaying workload {workload!r} "
+          f"({len(runner.trace(workload))} memory references)\n")
+
+    header = (f"{'platform':12s} {'ops/s':>12s} {'total ms':>10s} "
+              f"{'os %':>7s} {'ssd %':>7s} {'energy mJ':>10s}")
+    print(header)
+    print("-" * len(header))
+
+    results = {}
+    for platform in ("mmap", "hams-LE", "hams-TE", "oracle"):
+        result = runner.run_one(platform, workload)
+        results[platform] = result
+        fractions = result.breakdown_fractions()
+        print(f"{platform:12s} {result.operations_per_second:12.0f} "
+              f"{result.total_ns / 1e6:10.2f} "
+              f"{100 * fractions['os']:7.1f} {100 * fractions['ssd']:7.1f} "
+              f"{result.energy.total_nj / 1e6:10.1f}")
+
+    speedup = (results["hams-TE"].operations_per_second
+               / results["mmap"].operations_per_second)
+    saving = 1.0 - (results["hams-TE"].energy.total_nj
+                    / results["mmap"].energy.total_nj)
+    print(f"\nadvanced HAMS vs mmap: {speedup:.2f}x faster, "
+          f"{100 * saving:.0f}% less energy")
+    print("(the paper reports +119% performance and -45% energy for hams-TE)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline evaluation environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (which build a wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works without network access.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

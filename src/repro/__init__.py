@@ -1,0 +1,75 @@
+"""repro: a functional reproduction of HAMS (ISCA 2021).
+
+HAMS — the Hardware Automated Memory-over-Storage solution — aggregates the
+capacity of an NVDIMM-N and an ultra-low-latency flash SSD into one flat,
+OS-transparent, persistent memory space managed entirely by hardware inside
+the memory controller hub.  This library rebuilds the full system described
+in the paper as a trace-driven Python simulation: the Z-NAND SSD substrate,
+the NVMe protocol, the DDR4/PCIe interconnects, the NVDIMM, the host/OS
+model, the HAMS controller itself (baseline and advanced integrations,
+persist and extend modes), every baseline platform of the evaluation, and
+the twelve workloads of Table III.
+
+Quick start::
+
+    from repro import ExperimentRunner, ExperimentScale
+
+    runner = ExperimentRunner(ExperimentScale())
+    result = runner.run_one("hams-TE", "seqRd")
+    print(result.operations_per_second)
+"""
+
+from .config import (
+    CPUConfig,
+    DDRConfig,
+    EnergyConfig,
+    HAMSConfig,
+    NVDIMMConfig,
+    NVMeConfig,
+    OptaneConfig,
+    PCIeConfig,
+    SSDConfig,
+    SystemConfig,
+    default_config,
+)
+from .analysis.experiments import ExperimentResult, ExperimentRunner
+from .core.hams_controller import HAMSAccessResult, HAMSController
+from .platforms.base import Platform, RunResult
+from .platforms.registry import PLATFORM_NAMES, create_platform
+from .workloads.registry import (
+    ExperimentScale,
+    all_workload_names,
+    build_trace,
+    get_workload,
+    scale_system_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPUConfig",
+    "DDRConfig",
+    "EnergyConfig",
+    "HAMSConfig",
+    "NVDIMMConfig",
+    "NVMeConfig",
+    "OptaneConfig",
+    "PCIeConfig",
+    "SSDConfig",
+    "SystemConfig",
+    "default_config",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "HAMSAccessResult",
+    "HAMSController",
+    "Platform",
+    "RunResult",
+    "PLATFORM_NAMES",
+    "create_platform",
+    "ExperimentScale",
+    "all_workload_names",
+    "build_trace",
+    "get_workload",
+    "scale_system_config",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Breakdown tables for Figures 17, 18 and 19.
+
+Each helper turns a collection of :class:`~repro.platforms.base.RunResult`
+records into the normalised rows the corresponding figure plots: execution
+time split into app/OS/SSD, memory delay split into NVDIMM/DMA/SSD, and
+energy split into CPU/NVDIMM/internal-DRAM/Z-NAND — all normalised to a
+baseline platform the way the paper normalises to ``mmap``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from ..platforms.base import RunResult
+
+
+def execution_breakdown_table(results: Mapping[str, RunResult],
+                              baseline: str = "mmap") -> Dict[str, Dict[str, float]]:
+    """Figure 17 rows: execution time per platform, normalised to *baseline*.
+
+    *results* maps platform name to the run result of one workload.  Each row
+    contains the app/OS/SSD components divided by the baseline's total time,
+    so the baseline row sums to 1.0.
+    """
+    if baseline not in results:
+        raise ValueError(f"baseline {baseline!r} missing from results")
+    denominator = results[baseline].total_ns
+    if denominator <= 0:
+        raise ValueError("baseline total time must be positive")
+    table: Dict[str, Dict[str, float]] = {}
+    for platform, result in results.items():
+        table[platform] = {
+            "app": result.app_ns / denominator,
+            "os": result.os_ns / denominator,
+            "ssd": result.ssd_ns / denominator,
+            "total": result.total_ns / denominator,
+        }
+    return table
+
+
+def memory_delay_table(results: Mapping[str, RunResult],
+                       baseline: str | None = None) -> Dict[str, Dict[str, float]]:
+    """Figure 18 rows: NVDIMM/DMA/SSD memory-delay shares per platform.
+
+    When *baseline* is given the components are normalised to the baseline's
+    total memory delay (the figure normalises to ``hams-LP``); otherwise each
+    platform is normalised to its own total.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    denominator = None
+    if baseline is not None:
+        if baseline not in results:
+            raise ValueError(f"baseline {baseline!r} missing from results")
+        denominator = results[baseline].memory_delay.get("total_ns", 0.0)
+    for platform, result in results.items():
+        delay = result.memory_delay
+        total = delay.get("total_ns", 0.0)
+        divisor = denominator if denominator else total
+        if divisor <= 0:
+            table[platform] = {"nvdimm": 0.0, "dma": 0.0, "ssd": 0.0, "total": 0.0}
+            continue
+        table[platform] = {
+            "nvdimm": delay.get("nvdimm_ns", 0.0) / divisor,
+            "dma": delay.get("dma_ns", 0.0) / divisor,
+            "ssd": delay.get("ssd_ns", 0.0) / divisor,
+            "total": total / divisor,
+        }
+    return table
+
+
+def normalised_energy_table(results: Mapping[str, RunResult],
+                            baseline: str = "mmap") -> Dict[str, Dict[str, float]]:
+    """Figure 19 rows: per-component energy normalised to the baseline total."""
+    if baseline not in results:
+        raise ValueError(f"baseline {baseline!r} missing from results")
+    reference = results[baseline].energy
+    table: Dict[str, Dict[str, float]] = {}
+    for platform, result in results.items():
+        table[platform] = result.energy.normalised_to(reference)
+    return table
+
+
+def average_breakdown(tables: Iterable[Mapping[str, Mapping[str, float]]]
+                      ) -> Dict[str, Dict[str, float]]:
+    """Average several per-workload breakdown tables component-wise."""
+    accumulator: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for table in tables:
+        for platform, row in table.items():
+            target = accumulator.setdefault(platform, {})
+            for key, value in row.items():
+                target[key] = target.get(key, 0.0) + value
+            counts[platform] = counts.get(platform, 0) + 1
+    for platform, row in accumulator.items():
+        for key in row:
+            row[key] /= counts[platform]
+    return accumulator

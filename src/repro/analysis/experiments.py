@@ -1,0 +1,119 @@
+"""Experiment runner: replay a set of workloads on a set of platforms.
+
+Every benchmark in ``benchmarks/`` and most examples reduce to the same
+loop: build scaled traces, build scaled platforms (a fresh platform per run
+so device state never leaks between workloads), replay, and collect the
+:class:`~repro.platforms.base.RunResult` records.  This module centralises
+that loop and offers convenience accessors for the metrics each figure
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..config import SystemConfig, default_config
+from ..platforms.base import RunResult
+from ..platforms.registry import create_platform
+from ..workloads.registry import (
+    ExperimentScale,
+    build_trace,
+    scale_system_config,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """All run results of one experiment, indexed by (platform, workload)."""
+
+    scale: ExperimentScale
+    results: Dict[tuple, RunResult] = field(default_factory=dict)
+
+    def get(self, platform: str, workload: str) -> RunResult:
+        return self.results[(platform, workload)]
+
+    def platforms(self) -> List[str]:
+        return sorted({platform for platform, _ in self.results})
+
+    def workloads(self) -> List[str]:
+        seen: List[str] = []
+        for _, workload in self.results:
+            if workload not in seen:
+                seen.append(workload)
+        return seen
+
+    # -- per-figure series -----------------------------------------------------------
+
+    def throughput_series(self, platform: str) -> Dict[str, float]:
+        """Operations/s per workload for one platform (Figure 16)."""
+        return {workload: result.operations_per_second
+                for (name, workload), result in self.results.items()
+                if name == platform}
+
+    def speedup_over(self, platform: str, baseline: str) -> Dict[str, float]:
+        """Per-workload throughput ratio of *platform* over *baseline*."""
+        out: Dict[str, float] = {}
+        for workload in self.workloads():
+            base = self.get(baseline, workload).operations_per_second
+            if base <= 0:
+                continue
+            out[workload] = (self.get(platform, workload).operations_per_second
+                             / base)
+        return out
+
+    def mean_speedup(self, platform: str, baseline: str) -> float:
+        """Geometric-mean-free average speedup used for headline claims."""
+        ratios = list(self.speedup_over(platform, baseline).values())
+        if not ratios:
+            return 0.0
+        return sum(ratios) / len(ratios)
+
+    def energy_ratio(self, platform: str, baseline: str) -> float:
+        """Average total-energy ratio of *platform* over *baseline* (Figure 19)."""
+        ratios: List[float] = []
+        for workload in self.workloads():
+            base = self.get(baseline, workload).energy.total_nj
+            if base <= 0:
+                continue
+            ratios.append(self.get(platform, workload).energy.total_nj / base)
+        if not ratios:
+            return 0.0
+        return sum(ratios) / len(ratios)
+
+
+class ExperimentRunner:
+    """Builds scaled platforms/traces and replays every combination."""
+
+    def __init__(self, scale: Optional[ExperimentScale] = None,
+                 base_config: Optional[SystemConfig] = None) -> None:
+        self.scale = scale if scale is not None else ExperimentScale()
+        base = base_config if base_config is not None else default_config()
+        self.config = scale_system_config(base, self.scale)
+        self._trace_cache: Dict[tuple, object] = {}
+
+    def trace(self, workload: str, dataset_bytes_override: Optional[int] = None):
+        """Build (and memoise) the trace for one workload."""
+        key = (workload, dataset_bytes_override)
+        if key not in self._trace_cache:
+            self._trace_cache[key] = build_trace(
+                workload, self.scale,
+                dataset_bytes_override=dataset_bytes_override)
+        return self._trace_cache[key]
+
+    def run_one(self, platform_name: str, workload: str,
+                dataset_bytes_override: Optional[int] = None) -> RunResult:
+        """Replay one workload on a freshly built platform."""
+        platform = create_platform(platform_name, self.config)
+        trace = self.trace(workload, dataset_bytes_override)
+        return platform.run(trace)
+
+    def run_matrix(self, platform_names: Iterable[str],
+                   workloads: Iterable[str]) -> ExperimentResult:
+        """Replay every workload on every platform."""
+        experiment = ExperimentResult(scale=self.scale)
+        for workload in workloads:
+            for platform_name in platform_names:
+                result = self.run_one(platform_name, workload)
+                experiment.results[(platform_name, workload)] = result
+        return experiment

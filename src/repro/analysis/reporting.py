@@ -1,0 +1,61 @@
+"""Plain-text reporting helpers.
+
+The benchmark harness prints each figure as an ASCII table so the paper's
+rows/series can be compared at a glance without plotting.  These helpers are
+dependency-free and deterministic (column order follows insertion order of
+the input mappings).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Mapping[str, Mapping[str, float]],
+                 title: str = "", float_format: str = "{:.3f}",
+                 row_header: str = "") -> str:
+    """Render a nested mapping ``{row: {column: value}}`` as aligned text."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns: List[str] = []
+    for row in rows.values():
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    header_cells = [row_header] + columns
+    body: List[List[str]] = []
+    for name, row in rows.items():
+        cells = [str(name)]
+        for column in columns:
+            value = row.get(column)
+            cells.append(float_format.format(value) if value is not None else "-")
+        body.append(cells)
+    widths = [max(len(line[i]) for line in [header_cells] + body)
+              for i in range(len(header_cells))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(cell.ljust(width)
+                           for cell, width in zip(header_cells, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for cells in body:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def series_to_rows(series: Mapping[str, Mapping[str, float]]
+                   ) -> Dict[str, Dict[str, float]]:
+    """Transpose ``{series: {x: y}}`` into ``{x: {series: y}}`` for printing."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for series_name, points in series.items():
+        for x_value, y_value in points.items():
+            rows.setdefault(str(x_value), {})[series_name] = y_value
+    return rows
+
+
+def format_series(series: Mapping[str, Mapping[str, float]], title: str = "",
+                  float_format: str = "{:.3f}") -> str:
+    """Render ``{series: {x: y}}`` with one row per x value."""
+    return format_table(series_to_rows(series), title=title,
+                        float_format=float_format, row_header="x")

@@ -1,0 +1,71 @@
+"""Register-based interface between advanced HAMS and the unboxed ULL-Flash.
+
+The aggressive integration (Section IV-C / V-A, Figure 12) removes the PCIe
+hop: the ULL-Flash NVMe controller gets a small set of command/address/data
+registers and sits directly on a DDR4 channel shared with the NVDIMM.
+Sending an I/O request becomes a DDR write burst of the 64 B NVMe command
+into those registers; the subsequent flash<->NVDIMM DMA is arbitrated by the
+*lock register* so the HAMS cache logic and the NVMe controller never drive
+the bus simultaneously.
+
+This class adapts a :class:`~repro.interconnect.ddr_bus.DDR4Bus` to the
+:class:`~repro.interconnect.link.Link` interface used by the NVMe controller
+model, so the same controller code serves both integrations and only the
+datapath object changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..interconnect.ddr_bus import DDR4Bus
+from ..interconnect.link import Link, TransferRecord
+
+
+class RegisterInterface(Link):
+    """DDR4-attached command/data path of the advanced HAMS design."""
+
+    def __init__(self, ddr_bus: DDR4Bus) -> None:
+        super().__init__()
+        self.ddr_bus = ddr_bus
+        self.commands_delivered = 0
+
+    # -- Link interface -------------------------------------------------------------
+
+    def raw_transfer_time(self, size_bytes: int) -> float:
+        return self.ddr_bus.raw_transfer_time(size_bytes)
+
+    def per_transfer_overhead(self, size_bytes: int) -> float:
+        """DDR activation plus the lock-register handshake, no packetisation."""
+        return (self.ddr_bus.per_transfer_overhead(size_bytes)
+                + 2 * self.ddr_bus.lock.toggle_ns)
+
+    def transfer(self, size_bytes: int, at_ns: float) -> TransferRecord:
+        """A flash<->NVDIMM DMA through the shared DDR4 channel.
+
+        The transfer holds the lock register for its duration; contention
+        with the HAMS cache logic shows up as a delayed start.
+        """
+        if size_bytes <= 0:
+            raise ValueError("transfer size must be positive")
+        record = self.ddr_bus.dma_transfer(size_bytes, at_ns)
+        self.bytes_transferred += size_bytes
+        self.transfers += 1
+        self._busy_until_ns = record.finish_ns
+        return record
+
+    # -- command delivery -------------------------------------------------------------
+
+    def deliver_command(self, at_ns: float) -> TransferRecord:
+        """Write one 64 B NVMe command into the device's data-buffer registers."""
+        self.commands_delivered += 1
+        return self.ddr_bus.send_register_command(at_ns)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        stats = super().statistics()
+        stats["commands_delivered"] = float(self.commands_delivered)
+        stats.update({f"lock.{key}": value
+                      for key, value in self.ddr_bus.lock.statistics().items()})
+        return stats

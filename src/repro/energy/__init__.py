@@ -1,0 +1,11 @@
+"""Energy models and accounting (Figure 19)."""
+
+from .models import ComponentPowerModel, EnergyModel
+from .accounting import EnergyAccount, EnergyBreakdown
+
+__all__ = [
+    "ComponentPowerModel",
+    "EnergyModel",
+    "EnergyAccount",
+    "EnergyBreakdown",
+]

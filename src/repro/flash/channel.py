@@ -1,0 +1,100 @@
+"""Flash channel (bus) scheduler.
+
+Each channel is a shared bus between the SSD controller and the flash
+packages hanging off it.  Data transfers (DMA of page data to or from a die)
+serialize on the channel even when the array operations themselves overlap
+on different dies.  ULL-Flash additionally *splits* a 4 KB host request into
+two half-page transfers on two channels, halving the DMA portion of the
+latency (Section II-C) — that policy lives in the FIL; this module only
+answers "when can channel C move N bytes starting at time T?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..config import FlashGeometry
+from ..units import transfer_time_ns
+
+
+@dataclass
+class _ChannelState:
+    busy_until_ns: float = 0.0
+    bytes_moved: int = 0
+    transfers: int = 0
+
+
+class ChannelScheduler:
+    """Tracks occupancy of every flash channel of one SSD."""
+
+    def __init__(self, geometry: FlashGeometry,
+                 bandwidth_bytes_per_ns: float) -> None:
+        if geometry.channels <= 0:
+            raise ValueError("SSD needs at least one channel")
+        if bandwidth_bytes_per_ns <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        self.geometry = geometry
+        self.bandwidth = bandwidth_bytes_per_ns
+        self._channels: Dict[int, _ChannelState] = {
+            index: _ChannelState() for index in range(geometry.channels)
+        }
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Raw bus time to move *size_bytes*, ignoring occupancy."""
+        return transfer_time_ns(size_bytes, self.bandwidth)
+
+    def reserve(self, channel: int, size_bytes: int,
+                at_ns: float) -> Tuple[float, float]:
+        """Reserve the channel for a transfer of *size_bytes* at *at_ns*.
+
+        Returns ``(start_ns, finish_ns)``: the transfer starts when the
+        channel frees up and occupies it for the raw bus time.
+        """
+        state = self._channel(channel)
+        start = max(at_ns, state.busy_until_ns)
+        finish = start + self.transfer_time(size_bytes)
+        state.busy_until_ns = finish
+        state.bytes_moved += size_bytes
+        state.transfers += 1
+        return start, finish
+
+    def next_free(self, channel: int, at_ns: float) -> float:
+        """Earliest time the channel could start a new transfer."""
+        return max(at_ns, self._channel(channel).busy_until_ns)
+
+    def least_loaded(self, at_ns: float, count: int = 1) -> List[int]:
+        """Return the *count* channels that free up earliest at *at_ns*.
+
+        Used by the ULL-Flash split policy to pick the pair of channels for
+        the two half-page transfers.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        ranked = sorted(self._channels.items(),
+                        key=lambda item: (max(at_ns, item[1].busy_until_ns),
+                                          item[0]))
+        return [index for index, _ in ranked[:count]]
+
+    def utilisation_summary(self) -> Dict[str, float]:
+        bytes_total = sum(state.bytes_moved for state in self._channels.values())
+        transfers = sum(state.transfers for state in self._channels.values())
+        busiest = max((state.busy_until_ns for state in self._channels.values()),
+                      default=0.0)
+        return {
+            "bytes_moved": float(bytes_total),
+            "transfers": float(transfers),
+            "busiest_channel_until_ns": busiest,
+        }
+
+    def reset(self) -> None:
+        for state in self._channels.values():
+            state.busy_until_ns = 0.0
+            state.bytes_moved = 0
+            state.transfers = 0
+
+    def _channel(self, channel: int) -> _ChannelState:
+        try:
+            return self._channels[channel]
+        except KeyError:
+            raise ValueError(f"channel index out of range: {channel}") from None

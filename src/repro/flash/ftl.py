@@ -1,0 +1,274 @@
+"""Flash translation layer: page-level mapping, allocation, garbage collection.
+
+The FTL maps logical page numbers (LPNs) to physical flash addresses and
+implements the two mechanisms that shape SSD write behaviour:
+
+* **Write allocation / striping** — new physical pages are allocated
+  round-robin across channels and dies so that sequential writes exploit the
+  full internal parallelism (Section II-C, "FTL/FIL can stripe the requests
+  across multiple internal resources").
+* **Garbage collection** — blocks are append-only; overwrites invalidate the
+  old physical page.  When the pool of free blocks in a plane falls below a
+  threshold, a greedy collector picks the block with the fewest valid pages,
+  relocates those pages and erases the block.  The relocation work is
+  returned to the caller so the device model can charge its time.
+
+The mapping table is lazy (a dictionary) so an 800 GB device can be modelled
+without allocating 200 M entries up front; only pages actually touched by a
+workload consume memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..config import FlashGeometry
+
+
+@dataclass(frozen=True)
+class PhysicalAddress:
+    """A physical flash page address."""
+
+    channel: int
+    package: int
+    die: int
+    plane: int
+    block: int
+    page: int
+
+    def block_id(self) -> Tuple[int, int, int, int, int]:
+        return (self.channel, self.package, self.die, self.plane, self.block)
+
+
+@dataclass
+class GCResult:
+    """Work performed by one garbage-collection invocation."""
+
+    page_moves: List[Tuple[PhysicalAddress, PhysicalAddress]] = field(
+        default_factory=list)
+    blocks_erased: int = 0
+
+    @property
+    def pages_moved(self) -> int:
+        return len(self.page_moves)
+
+
+class _Plane:
+    """Allocation state of one flash plane (a set of blocks)."""
+
+    __slots__ = ("channel", "package", "die", "plane", "blocks_per_plane",
+                 "pages_per_block", "free_blocks", "open_block", "next_page",
+                 "valid_pages", "erase_count")
+
+    def __init__(self, channel: int, package: int, die: int, plane: int,
+                 blocks_per_plane: int, pages_per_block: int) -> None:
+        self.channel = channel
+        self.package = package
+        self.die = die
+        self.plane = plane
+        self.blocks_per_plane = blocks_per_plane
+        self.pages_per_block = pages_per_block
+        self.free_blocks: List[int] = list(range(blocks_per_plane))
+        self.open_block: Optional[int] = None
+        self.next_page = 0
+        # block index -> set of page indices currently holding valid data
+        self.valid_pages: Dict[int, Set[int]] = {}
+        self.erase_count = 0
+
+    def has_space(self) -> bool:
+        return bool(self.free_blocks) or (
+            self.open_block is not None and self.next_page < self.pages_per_block)
+
+    def allocate_page(self) -> Optional[PhysicalAddress]:
+        """Return the next append point in this plane, or ``None`` if full."""
+        if self.open_block is None or self.next_page >= self.pages_per_block:
+            if not self.free_blocks:
+                return None
+            self.open_block = self.free_blocks.pop(0)
+            self.next_page = 0
+            self.valid_pages.setdefault(self.open_block, set())
+        address = PhysicalAddress(self.channel, self.package, self.die,
+                                  self.plane, self.open_block, self.next_page)
+        self.valid_pages[self.open_block].add(self.next_page)
+        self.next_page += 1
+        return address
+
+    def invalidate(self, address: PhysicalAddress) -> None:
+        pages = self.valid_pages.get(address.block)
+        if pages is not None:
+            pages.discard(address.page)
+
+    def victim_block(self) -> Optional[int]:
+        """Block with the fewest valid pages, excluding the open block."""
+        candidates = [
+            (len(pages), block)
+            for block, pages in self.valid_pages.items()
+            if block != self.open_block
+        ]
+        if not candidates:
+            return None
+        candidates.sort()
+        return candidates[0][1]
+
+    def erase_block(self, block: int) -> None:
+        self.valid_pages.pop(block, None)
+        self.free_blocks.append(block)
+        self.erase_count += 1
+
+
+class FlashTranslationLayer:
+    """Page-mapping FTL with greedy garbage collection."""
+
+    def __init__(self, geometry: FlashGeometry,
+                 gc_threshold_blocks: int = 2) -> None:
+        self.geometry = geometry
+        self.gc_threshold_blocks = gc_threshold_blocks
+        self._mapping: Dict[int, PhysicalAddress] = {}
+        self._reverse: Dict[PhysicalAddress, int] = {}
+        self._planes: List[_Plane] = []
+        for channel in range(geometry.channels):
+            for package in range(geometry.packages_per_channel):
+                for die in range(geometry.dies_per_package):
+                    for plane in range(geometry.planes_per_die):
+                        self._planes.append(
+                            _Plane(channel, package, die, plane,
+                                   geometry.blocks_per_plane,
+                                   geometry.pages_per_block))
+        self._allocation_cursor = 0
+        self.gc_invocations = 0
+        self.gc_pages_moved = 0
+        self.host_writes = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, lpn: int) -> Optional[PhysicalAddress]:
+        """Translate a logical page number; ``None`` if never written."""
+        self._check_lpn(lpn)
+        return self._mapping.get(lpn)
+
+    def is_mapped(self, lpn: int) -> bool:
+        return lpn in self._mapping
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._mapping)
+
+    # -- writes ----------------------------------------------------------------
+
+    def write(self, lpn: int) -> Tuple[PhysicalAddress, GCResult]:
+        """Map *lpn* to a fresh physical page.
+
+        Any previous mapping is invalidated.  Returns the new physical
+        address together with the garbage-collection work (possibly empty)
+        triggered by this allocation.
+        """
+        self._check_lpn(lpn)
+        self.host_writes += 1
+        gc_result = self._maybe_collect()
+        old = self._mapping.get(lpn)
+        if old is not None:
+            self._plane_for(old).invalidate(old)
+            self._reverse.pop(old, None)
+        address = self._allocate()
+        self._mapping[lpn] = address
+        self._reverse[address] = lpn
+        return address, gc_result
+
+    def trim(self, lpn: int) -> None:
+        """Drop the mapping for *lpn* (discard / TRIM)."""
+        self._check_lpn(lpn)
+        old = self._mapping.pop(lpn, None)
+        if old is not None:
+            self._plane_for(old).invalidate(old)
+            self._reverse.pop(old, None)
+
+    # -- garbage collection -----------------------------------------------------
+
+    def _maybe_collect(self) -> GCResult:
+        result = GCResult()
+        for plane in self._planes:
+            while len(plane.free_blocks) < self.gc_threshold_blocks:
+                victim = plane.victim_block()
+                if victim is None:
+                    break
+                moved = self._collect_block(plane, victim, result)
+                if not moved and not plane.free_blocks:
+                    # Nothing reclaimable: the plane is genuinely full of
+                    # valid data; stop rather than loop forever.
+                    break
+        if result.pages_moved or result.blocks_erased:
+            self.gc_invocations += 1
+            self.gc_pages_moved += result.pages_moved
+        return result
+
+    def _collect_block(self, plane: _Plane, block: int,
+                       result: GCResult) -> bool:
+        valid = sorted(plane.valid_pages.get(block, set()))
+        moved_any = False
+        for page in valid:
+            old = PhysicalAddress(plane.channel, plane.package, plane.die,
+                                  plane.plane, block, page)
+            lpn = self._reverse.get(old)
+            if lpn is None:
+                plane.invalidate(old)
+                continue
+            new = self._allocate(exclude_plane=plane)
+            plane.invalidate(old)
+            self._reverse.pop(old, None)
+            self._mapping[lpn] = new
+            self._reverse[new] = lpn
+            result.page_moves.append((old, new))
+            moved_any = True
+        plane.erase_block(block)
+        result.blocks_erased += 1
+        return moved_any or not valid
+
+    # -- allocation ---------------------------------------------------------------
+
+    def _allocate(self, exclude_plane: Optional[_Plane] = None) -> PhysicalAddress:
+        """Round-robin allocation across planes (channel/die striping)."""
+        total = len(self._planes)
+        for offset in range(total):
+            plane = self._planes[(self._allocation_cursor + offset) % total]
+            if exclude_plane is not None and plane is exclude_plane:
+                continue
+            address = plane.allocate_page()
+            if address is not None:
+                self._allocation_cursor = (
+                    self._allocation_cursor + offset + 1) % total
+                return address
+        # Fall back to the excluded plane before declaring the device full.
+        if exclude_plane is not None:
+            address = exclude_plane.allocate_page()
+            if address is not None:
+                return address
+        raise RuntimeError("flash device is full: no free pages in any plane")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _plane_for(self, address: PhysicalAddress) -> _Plane:
+        index = (((address.channel * self.geometry.packages_per_channel
+                   + address.package) * self.geometry.dies_per_package
+                  + address.die) * self.geometry.planes_per_die + address.plane)
+        return self._planes[index]
+
+    def _check_lpn(self, lpn: int) -> None:
+        if lpn < 0 or lpn >= self.geometry.logical_pages:
+            raise ValueError(
+                f"LPN {lpn} out of range [0, {self.geometry.logical_pages})")
+
+    def erase_counts(self) -> List[int]:
+        """Per-plane erase counts (wear indicator)."""
+        return [plane.erase_count for plane in self._planes]
+
+    def statistics(self) -> Dict[str, float]:
+        return {
+            "mapped_pages": float(self.mapped_pages),
+            "host_writes": float(self.host_writes),
+            "gc_invocations": float(self.gc_invocations),
+            "gc_pages_moved": float(self.gc_pages_moved),
+            "write_amplification": (
+                (self.host_writes + self.gc_pages_moved) / self.host_writes
+                if self.host_writes else 1.0),
+        }

@@ -1,0 +1,297 @@
+"""The full SSD device model: firmware stack + internal DRAM + flash complex.
+
+An :class:`SSD` accepts byte-ranged I/O requests at arbitrary submission
+times and returns completion times computed from the state of its internal
+resources (DRAM buffer, channels, dies, mapping table).  It composes the
+lower layers of this package:
+
+``HostInterfaceLayer`` -> ``InternalDRAMBuffer`` -> ``FlashTranslationLayer``
+-> ``FlashInterfaceLayer`` -> ``ZNANDArray`` / ``ChannelScheduler``.
+
+Three factory presets mirror the devices used in the paper's evaluation:
+ULL-Flash (Z-NAND), a conventional NVMe SSD and a SATA SSD.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import SSDConfig
+from ..sim.stats import StatRegistry
+from .channel import ChannelScheduler
+from .dram_buffer import InternalDRAMBuffer
+from .fil import FlashInterfaceLayer
+from .ftl import FlashTranslationLayer, GCResult
+from .hil import HostInterfaceLayer
+from .znand import ZNANDArray
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """One host-visible I/O request."""
+
+    is_write: bool
+    byte_offset: int
+    size_bytes: int
+    submit_ns: float
+    fua: bool = False
+
+    def __post_init__(self) -> None:
+        if self.byte_offset < 0:
+            raise ValueError("byte_offset must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.submit_ns < 0:
+            raise ValueError("submit_ns must be non-negative")
+
+
+@dataclass
+class IOResult:
+    """Completion record for one :class:`IORequest`."""
+
+    request: IORequest
+    start_ns: float
+    finish_ns: float
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    flash_reads: int = 0
+    flash_programs: int = 0
+    gc_pages_moved: int = 0
+
+    @property
+    def latency_ns(self) -> float:
+        return self.finish_ns - self.request.submit_ns
+
+    @property
+    def device_time_ns(self) -> float:
+        return self.finish_ns - self.start_ns
+
+
+class SSD:
+    """A simulated NVMe/SATA solid-state drive."""
+
+    def __init__(self, config: SSDConfig) -> None:
+        self.config = config
+        geometry = config.geometry
+        self.page_size = geometry.page_size
+        self.array = ZNANDArray(geometry, config.timing)
+        self.channels = ChannelScheduler(geometry,
+                                         config.channel_bw_bytes_per_ns)
+        self.ftl = FlashTranslationLayer(geometry)
+        self.fil = FlashInterfaceLayer(self.array, self.channels,
+                                       self.page_size,
+                                       split_channels=config.split_channels)
+        self.hil = HostInterfaceLayer(self.page_size, config.firmware_latency_ns)
+        self.buffer = InternalDRAMBuffer(
+            config.dram_buffer_bytes, self.page_size,
+            enabled=config.dram_buffer_enabled,
+            mapping_table_fraction=config.mapping_table_fraction)
+        self.stats = StatRegistry(prefix=config.name)
+        # Outstanding request completion times, used to model the device's
+        # bounded queue (ULL-Flash sustains ~16 outstanding random reads).
+        self._outstanding: List[float] = []
+        self.requests_served = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- capacity ------------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.config.geometry.usable_capacity_bytes
+
+    @property
+    def logical_pages(self) -> int:
+        return self.config.geometry.logical_pages
+
+    # -- preconditioning -------------------------------------------------------------
+
+    def precondition(self, start_lpn: int, page_count: int) -> None:
+        """Pre-map a logical range without charging simulation time.
+
+        The paper's experiments write every data block to the flash media in
+        a warm-up phase before measuring (Section VI-A); preconditioning
+        reproduces that state so reads hit mapped pages.
+        """
+        if page_count < 0:
+            raise ValueError("page_count must be non-negative")
+        end = start_lpn + page_count
+        if end > self.logical_pages:
+            raise ValueError("precondition range exceeds device capacity")
+        for lpn in range(start_lpn, end):
+            if not self.ftl.is_mapped(lpn):
+                self.ftl.write(lpn)
+        self.buffer.clear()
+
+    # -- request servicing -------------------------------------------------------------
+
+    def submit(self, request: IORequest) -> IOResult:
+        """Service one request and return its completion record.
+
+        Requests must be submitted in non-decreasing ``submit_ns`` order (the
+        callers — NVMe controller, OS stack, HAMS engine — all do this).
+        """
+        start = self._admission_time(request.submit_ns)
+        subrequests = self.hil.split(request.byte_offset, request.size_bytes,
+                                     request.is_write)
+        firmware_done = start + self.hil.parse_latency(len(subrequests))
+        result = IOResult(request=request, start_ns=start, finish_ns=firmware_done)
+
+        finish = firmware_done
+        for sub in subrequests:
+            if sub.is_write:
+                sub_finish = self._service_write(sub.lpn, firmware_done,
+                                                 request.fua, result)
+            else:
+                sub_finish = self._service_read(sub.lpn, firmware_done, result)
+            finish = max(finish, sub_finish)
+
+        result.finish_ns = finish
+        self._complete(finish)
+        self.requests_served += 1
+        if request.is_write:
+            self.bytes_written += request.size_bytes
+        else:
+            self.bytes_read += request.size_bytes
+        self.stats.latency("request_latency").record(result.latency_ns)
+        self.stats.counter("requests").add()
+        return result
+
+    def read(self, byte_offset: int, size_bytes: int, at_ns: float) -> IOResult:
+        """Convenience wrapper for a read request."""
+        return self.submit(IORequest(is_write=False, byte_offset=byte_offset,
+                                     size_bytes=size_bytes, submit_ns=at_ns))
+
+    def write(self, byte_offset: int, size_bytes: int, at_ns: float,
+              fua: bool = False) -> IOResult:
+        """Convenience wrapper for a write request."""
+        return self.submit(IORequest(is_write=True, byte_offset=byte_offset,
+                                     size_bytes=size_bytes, submit_ns=at_ns,
+                                     fua=fua))
+
+    # -- power failure -------------------------------------------------------------------
+
+    def supercap_flush(self, at_ns: float) -> float:
+        """Flush every dirty buffered page to flash (supercap-backed).
+
+        Returns the time at which the flush completes.  Used by the HAMS
+        persistency design, which adds super-capacitors to ULL-Flash so the
+        volatile internal buffer survives power loss (Section IV-B).
+        """
+        finish = at_ns
+        for lpn in self.buffer.flush_all():
+            address, gc_result = self.ftl.write(lpn)
+            access = self.fil.write_page(address, finish)
+            finish = max(finish, access.finish_ns)
+            finish = self._charge_gc(gc_result, finish, None)
+        return finish
+
+    # -- internals -------------------------------------------------------------------
+
+    def _service_read(self, lpn: int, at_ns: float, result: IOResult) -> float:
+        lpn = self._clamp_lpn(lpn)
+        if self.buffer.read(lpn):
+            result.buffer_hits += 1
+            return at_ns + self.config.dram_buffer_hit_ns
+        result.buffer_misses += 1
+        address = self.ftl.lookup(lpn)
+        if address is None:
+            # Reading a never-written page returns zeroes from the controller
+            # without touching the flash array.
+            return at_ns + self.config.dram_buffer_hit_ns
+        access = self.fil.read_page(address, at_ns)
+        result.flash_reads += 1
+        self.buffer.fill(lpn)
+        return access.finish_ns
+
+    def _service_write(self, lpn: int, at_ns: float, fua: bool,
+                       result: IOResult) -> float:
+        lpn = self._clamp_lpn(lpn)
+        if not fua and self.buffer.enabled:
+            hit, evicted = self.buffer.write(lpn)
+            if hit:
+                result.buffer_hits += 1
+            else:
+                result.buffer_misses += 1
+            finish = at_ns + self.config.dram_buffer_hit_ns
+            if evicted is not None:
+                victim_lpn, dirty = evicted
+                if dirty:
+                    finish = self._program(victim_lpn, finish, result)
+            return finish
+        # FUA (or no buffer): the data must reach the flash media before the
+        # request completes.
+        result.buffer_misses += 1
+        return self._program(lpn, at_ns, result)
+
+    def _program(self, lpn: int, at_ns: float, result: Optional[IOResult]) -> float:
+        address, gc_result = self.ftl.write(lpn)
+        access = self.fil.write_page(address, at_ns)
+        if result is not None:
+            result.flash_programs += 1
+        finish = access.finish_ns
+        return self._charge_gc(gc_result, finish, result)
+
+    def _charge_gc(self, gc_result: GCResult, at_ns: float,
+                   result: Optional[IOResult]) -> float:
+        """Charge garbage-collection relocations triggered by an allocation."""
+        finish = at_ns
+        for old, new in gc_result.page_moves:
+            read_access = self.fil.read_page(old, finish)
+            write_access = self.fil.write_page(new, read_access.finish_ns)
+            finish = write_access.finish_ns
+        if result is not None:
+            result.gc_pages_moved += gc_result.pages_moved
+        return finish
+
+    def _admission_time(self, submit_ns: float) -> float:
+        """Delay admission while the device queue is saturated."""
+        while self._outstanding and self._outstanding[0] <= submit_ns:
+            heapq.heappop(self._outstanding)
+        if len(self._outstanding) < self.config.max_outstanding:
+            return submit_ns
+        earliest = heapq.heappop(self._outstanding)
+        return max(submit_ns, earliest)
+
+    def _complete(self, finish_ns: float) -> None:
+        heapq.heappush(self._outstanding, finish_ns)
+
+    def _clamp_lpn(self, lpn: int) -> int:
+        """Wrap out-of-range LPNs into the device (callers address modulo capacity)."""
+        return lpn % self.logical_pages
+
+    # -- reporting -------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        summary: Dict[str, float] = {
+            "requests_served": float(self.requests_served),
+            "bytes_read": float(self.bytes_read),
+            "bytes_written": float(self.bytes_written),
+            "buffer_hit_rate": self.buffer.stats.hit_rate,
+            "flash_page_reads": float(self.fil.page_reads),
+            "flash_page_programs": float(self.fil.page_programs),
+        }
+        summary.update({f"ftl_{k}": v for k, v in self.ftl.statistics().items()})
+        return summary
+
+
+def make_ssd(kind: str, capacity_bytes: Optional[int] = None) -> SSD:
+    """Build one of the paper's three SSD presets.
+
+    ``kind`` is one of ``"ull-flash"``, ``"nvme-ssd"`` or ``"sata-ssd"``.
+    """
+    builders = {
+        "ull-flash": SSDConfig.ull_flash,
+        "nvme-ssd": SSDConfig.nvme_ssd,
+        "sata-ssd": SSDConfig.sata_ssd,
+    }
+    try:
+        builder = builders[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown SSD kind {kind!r}; expected one of {sorted(builders)}"
+        ) from None
+    config = builder(capacity_bytes) if capacity_bytes else builder()
+    return SSD(config)

@@ -1,0 +1,146 @@
+"""Z-NAND flash array model: dies, planes, and raw operation timing.
+
+The array tracks per-die occupancy ("busy until" timestamps) so concurrent
+operations on different dies proceed in parallel while operations targeting
+the same die serialize — the behaviour that gives SSDs their internal
+parallelism (Figure 4a).  Plane-level parallelism is modelled as multi-plane
+operations: a die can start one array operation at a time, but an operation
+may cover several planes of that die with a single array time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from ..config import FlashGeometry, FlashTiming
+
+
+class FlashOperation(Enum):
+    """Raw NAND array operations."""
+
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+
+
+@dataclass
+class DieState:
+    """Occupancy bookkeeping for one flash die."""
+
+    channel: int
+    package: int
+    die: int
+    busy_until_ns: float = 0.0
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+
+    def operations_total(self) -> int:
+        return self.reads + self.programs + self.erases
+
+
+class ZNANDArray:
+    """All flash dies of one SSD, addressed as (channel, package, die).
+
+    The array does not know about logical addresses or wear levelling — it
+    only answers "when would an operation issued at time T on die D finish?"
+    and records per-die utilisation statistics.
+    """
+
+    def __init__(self, geometry: FlashGeometry, timing: FlashTiming) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        self._dies: Dict[Tuple[int, int, int], DieState] = {}
+        for channel in range(geometry.channels):
+            for package in range(geometry.packages_per_channel):
+                for die in range(geometry.dies_per_package):
+                    key = (channel, package, die)
+                    self._dies[key] = DieState(channel=channel, package=package,
+                                               die=die)
+
+    # -- addressing helpers -------------------------------------------------
+
+    def die_state(self, channel: int, package: int, die: int) -> DieState:
+        try:
+            return self._dies[(channel, package, die)]
+        except KeyError:
+            raise ValueError(
+                f"die address out of range: ({channel}, {package}, {die})"
+            ) from None
+
+    def dies(self) -> List[DieState]:
+        return list(self._dies.values())
+
+    def dies_on_channel(self, channel: int) -> List[DieState]:
+        return [die for key, die in self._dies.items() if key[0] == channel]
+
+    # -- timing -------------------------------------------------------------
+
+    def operation_time_ns(self, operation: FlashOperation) -> float:
+        """Raw array time for one operation, independent of occupancy."""
+        if operation is FlashOperation.READ:
+            return self.timing.read_ns
+        if operation is FlashOperation.PROGRAM:
+            return self.timing.program_ns
+        if operation is FlashOperation.ERASE:
+            return self.timing.erase_ns
+        raise ValueError(f"unknown flash operation: {operation}")
+
+    def issue(self, channel: int, package: int, die: int,
+              operation: FlashOperation, at_ns: float) -> Tuple[float, float]:
+        """Issue *operation* to a die at time *at_ns*.
+
+        Returns ``(start_ns, finish_ns)``.  The operation starts when the die
+        becomes free (or immediately if it is idle) and occupies the die for
+        the raw array time.
+        """
+        state = self.die_state(channel, package, die)
+        start = max(at_ns, state.busy_until_ns)
+        finish = start + self.operation_time_ns(operation)
+        state.busy_until_ns = finish
+        if operation is FlashOperation.READ:
+            state.reads += 1
+        elif operation is FlashOperation.PROGRAM:
+            state.programs += 1
+        else:
+            state.erases += 1
+        return start, finish
+
+    def earliest_available(self, at_ns: float) -> Tuple[int, int, int]:
+        """Address of the die that frees up first at or after *at_ns*.
+
+        Used by the write allocator to stripe programs across idle dies.
+        """
+        best_key = None
+        best_free = None
+        for key, state in self._dies.items():
+            free = max(at_ns, state.busy_until_ns)
+            if best_free is None or free < best_free:
+                best_free = free
+                best_key = key
+        assert best_key is not None
+        return best_key
+
+    # -- statistics ----------------------------------------------------------
+
+    def utilisation_summary(self) -> Dict[str, float]:
+        """Aggregate operation counts and the maximum busy-until time."""
+        reads = sum(d.reads for d in self._dies.values())
+        programs = sum(d.programs for d in self._dies.values())
+        erases = sum(d.erases for d in self._dies.values())
+        busiest = max((d.busy_until_ns for d in self._dies.values()), default=0.0)
+        return {
+            "reads": float(reads),
+            "programs": float(programs),
+            "erases": float(erases),
+            "busiest_die_until_ns": busiest,
+        }
+
+    def reset(self) -> None:
+        for state in self._dies.values():
+            state.busy_until_ns = 0.0
+            state.reads = 0
+            state.programs = 0
+            state.erases = 0

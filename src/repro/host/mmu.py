@@ -1,0 +1,128 @@
+"""MMU and TLB model.
+
+The MMU is the component HAMS serves directly: it issues memory requests for
+virtual addresses and, in the MMF baseline, raises page faults that the OS
+has to resolve through the storage stack (Section II-B, Figure 3).  The
+model tracks:
+
+* a TLB with an LRU replacement policy (page-size sensitive — Figure 20a
+  notes that small pages incur frequent TLB misses),
+* a resident-set of virtual pages that currently have a valid PTE, used by
+  the mmap platform to decide when an access faults.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of one MMU translation."""
+
+    page_number: int
+    tlb_hit: bool
+    page_present: bool
+    latency_ns: float
+
+
+class TLB:
+    """A fully-associative, LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int = 512, hit_ns: float = 0.5,
+                 miss_ns: float = 30.0) -> None:
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self.hit_ns = hit_ns
+        self.miss_ns = miss_ns
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, page_number: int) -> bool:
+        """Probe the TLB; on a miss the page-walk latency applies."""
+        if page_number in self._entries:
+            self._entries.move_to_end(page_number)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._insert(page_number)
+        return False
+
+    def _insert(self, page_number: int) -> None:
+        if len(self._entries) >= self.entries:
+            self._entries.popitem(last=False)
+        self._entries[page_number] = None
+
+    def invalidate(self, page_number: int) -> None:
+        self._entries.pop(page_number, None)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MMU:
+    """Per-process address translation with page-presence tracking."""
+
+    def __init__(self, page_size: int, tlb: Optional[TLB] = None) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError("page size must be a positive power of two")
+        self.page_size = page_size
+        self.tlb = tlb if tlb is not None else TLB()
+        self._present_pages: Set[int] = set()
+        self.translations = 0
+        self.page_faults = 0
+
+    def page_number(self, address: int) -> int:
+        if address < 0:
+            raise ValueError("negative virtual address")
+        return address // self.page_size
+
+    def translate(self, address: int) -> TranslationResult:
+        """Translate *address*; a missing PTE is reported as not-present.
+
+        The caller (the platform) decides what a fault costs — the software
+        page-fault path for mmap, or nothing at all for HAMS, which fields
+        every MMU request in hardware.
+        """
+        self.translations += 1
+        page = self.page_number(address)
+        tlb_hit = self.tlb.lookup(page)
+        present = page in self._present_pages
+        if not present:
+            self.page_faults += 1
+        latency = self.tlb.hit_ns if tlb_hit else self.tlb.miss_ns
+        return TranslationResult(page_number=page, tlb_hit=tlb_hit,
+                                 page_present=present, latency_ns=latency)
+
+    def map_page(self, page_number: int) -> None:
+        """Install a PTE for *page_number* (page-fault handler completion)."""
+        self._present_pages.add(page_number)
+
+    def unmap_page(self, page_number: int) -> None:
+        """Remove the PTE (page-cache eviction / munmap)."""
+        self._present_pages.discard(page_number)
+        self.tlb.invalidate(page_number)
+
+    def is_present(self, page_number: int) -> bool:
+        return page_number in self._present_pages
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._present_pages)
+
+    def statistics(self) -> Dict[str, float]:
+        return {
+            "translations": float(self.translations),
+            "page_faults": float(self.page_faults),
+            "tlb_hit_rate": self.tlb.hit_rate,
+            "resident_pages": float(self.resident_pages),
+        }

@@ -1,0 +1,161 @@
+"""OS storage-stack model: the software path the MMF baseline traverses.
+
+Section II-B walks through the path a faulting ``mmap`` access takes:
+page-fault handler, VMA/inode lookup and locking, the file system building a
+``bio``, the blk-mq layer scheduling it, the NVMe driver issuing it, the
+interrupt/completion path, and finally the data copy into the allocated
+page.  Section III-B measures the aggregate at 15–20 us per fault —
+around 6x the Z-NAND read itself — and Figure 7a shows it dominating
+execution time.  This module charges those costs and manages the OS page
+cache whose capacity determines how often the path is taken.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import OSStackConfig
+
+
+@dataclass
+class FaultCost:
+    """Latency decomposition of one page fault serviced by the OS."""
+
+    mmap_ns: float          # page-fault handling + context switches
+    io_stack_ns: float      # filesystem + blk-mq + driver + interrupt
+    copy_ns: float          # user/kernel data copies
+    total_software_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.total_software_ns
+
+
+class PageCache:
+    """The OS page cache backing a memory-mapped file (LRU, write-back)."""
+
+    def __init__(self, capacity_bytes: int, page_size: int) -> None:
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self.capacity_pages = max(0, capacity_bytes // page_size)
+        self._pages: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.dirty_writebacks = 0
+
+    def __contains__(self, page_number: int) -> bool:
+        return page_number in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def access(self, page_number: int, is_write: bool) -> bool:
+        """Touch *page_number*; returns ``True`` when it was resident."""
+        if page_number in self._pages:
+            self._pages.move_to_end(page_number)
+            if is_write:
+                self._pages[page_number] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def install(self, page_number: int,
+                dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Insert a page after a fault; returns an evicted ``(page, dirty)``."""
+        evicted: Optional[Tuple[int, bool]] = None
+        if page_number in self._pages:
+            self._pages.move_to_end(page_number)
+            if dirty:
+                self._pages[page_number] = True
+            return None
+        if self.capacity_pages and len(self._pages) >= self.capacity_pages:
+            victim, victim_dirty = self._pages.popitem(last=False)
+            if victim_dirty:
+                self.dirty_writebacks += 1
+            evicted = (victim, victim_dirty)
+        if self.capacity_pages:
+            self._pages[page_number] = dirty
+        return evicted
+
+    def clean(self, page_number: int) -> None:
+        """Clear the dirty flag after the page has been written back."""
+        if page_number in self._pages:
+            self._pages[page_number] = False
+
+    def dirty_pages(self) -> List[int]:
+        return [page for page, dirty in self._pages.items() if dirty]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class OSStorageStack:
+    """Charges the software latencies of the mmap / storage-stack path."""
+
+    def __init__(self, config: OSStackConfig, page_size: int) -> None:
+        self.config = config
+        self.page_size = page_size
+        self.page_faults_serviced = 0
+        self.context_switches = 0
+        self.total_mmap_ns = 0.0
+        self.total_io_stack_ns = 0.0
+        self.total_copy_ns = 0.0
+
+    def fault_cost(self, page_bytes: Optional[int] = None,
+                   needs_io: bool = True) -> FaultCost:
+        """Software cost of one page fault.
+
+        ``needs_io`` distinguishes a *minor* fault (page already in the page
+        cache, only the PTE is missing) from a *major* fault that has to go
+        down the I/O stack to the device.
+        """
+        page_bytes = page_bytes if page_bytes is not None else self.page_size
+        mmap_ns = self.config.mmap_overhead_ns
+        io_ns = self.config.io_stack_ns if needs_io else 0.0
+        copy_ns = (page_bytes / self.config.copy_bandwidth_bytes_per_ns
+                   if needs_io else 0.0)
+        total = mmap_ns + io_ns + copy_ns
+        self.page_faults_serviced += 1
+        self.context_switches += 2 if needs_io else 1
+        self.total_mmap_ns += mmap_ns
+        self.total_io_stack_ns += io_ns
+        self.total_copy_ns += copy_ns
+        return FaultCost(mmap_ns=mmap_ns, io_stack_ns=io_ns, copy_ns=copy_ns,
+                         total_software_ns=total)
+
+    def writeback_cost(self, page_bytes: Optional[int] = None) -> float:
+        """Software cost of writing a dirty page back through the I/O stack."""
+        page_bytes = page_bytes if page_bytes is not None else self.page_size
+        io_ns = self.config.io_stack_ns
+        copy_ns = page_bytes / self.config.copy_bandwidth_bytes_per_ns
+        self.total_io_stack_ns += io_ns
+        self.total_copy_ns += copy_ns
+        return io_ns + copy_ns
+
+    def msync_cost(self, dirty_page_count: int) -> float:
+        """Software cost of an msync()-style flush of *dirty_page_count* pages."""
+        if dirty_page_count < 0:
+            raise ValueError("dirty_page_count cannot be negative")
+        if dirty_page_count == 0:
+            return self.config.context_switch_ns
+        return (self.config.context_switch_ns
+                + dirty_page_count * self.writeback_cost())
+
+    @property
+    def readahead_pages(self) -> int:
+        return self.config.readahead_pages
+
+    def statistics(self) -> Dict[str, float]:
+        return {
+            "page_faults_serviced": float(self.page_faults_serviced),
+            "context_switches": float(self.context_switches),
+            "total_mmap_ns": self.total_mmap_ns,
+            "total_io_stack_ns": self.total_io_stack_ns,
+            "total_copy_ns": self.total_copy_ns,
+        }

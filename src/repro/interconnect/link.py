@@ -1,0 +1,78 @@
+"""Common interface for point-to-point data links.
+
+Both HAMS integrations move pages between the NVDIMM and the ULL-Flash: the
+baseline crosses a PCIe link (with packet encapsulation), the advanced design
+crosses the DDR4 bus directly.  The two are interchangeable behind this
+small :class:`Link` interface so the HAMS controller code is identical for
+both and only the datapath object differs — exactly the architectural point
+of Section IV-C.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """Timing of one data movement over a link."""
+
+    start_ns: float
+    finish_ns: float
+    size_bytes: int
+    overhead_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.finish_ns - self.start_ns
+
+
+class Link(abc.ABC):
+    """A shared, serialising data link with a fixed bandwidth and overhead."""
+
+    def __init__(self) -> None:
+        self.bytes_transferred = 0
+        self.transfers = 0
+        self._busy_until_ns = 0.0
+
+    @abc.abstractmethod
+    def raw_transfer_time(self, size_bytes: int) -> float:
+        """Bus occupancy time for *size_bytes*, excluding queueing."""
+
+    @abc.abstractmethod
+    def per_transfer_overhead(self, size_bytes: int) -> float:
+        """Protocol overhead added once per transfer (packetisation etc.)."""
+
+    def transfer(self, size_bytes: int, at_ns: float) -> TransferRecord:
+        """Move *size_bytes* starting no earlier than *at_ns*.
+
+        Transfers serialize on the link: a new transfer waits for the
+        previous one to drain.
+        """
+        if size_bytes <= 0:
+            raise ValueError("transfer size must be positive")
+        overhead = self.per_transfer_overhead(size_bytes)
+        start = max(at_ns, self._busy_until_ns)
+        finish = start + overhead + self.raw_transfer_time(size_bytes)
+        self._busy_until_ns = finish
+        self.bytes_transferred += size_bytes
+        self.transfers += 1
+        return TransferRecord(start_ns=start, finish_ns=finish,
+                              size_bytes=size_bytes, overhead_ns=overhead)
+
+    def next_free(self, at_ns: float) -> float:
+        return max(at_ns, self._busy_until_ns)
+
+    def statistics(self) -> Dict[str, float]:
+        return {
+            "bytes_transferred": float(self.bytes_transferred),
+            "transfers": float(self.transfers),
+            "busy_until_ns": self._busy_until_ns,
+        }
+
+    def reset(self) -> None:
+        self.bytes_transferred = 0
+        self.transfers = 0
+        self._busy_until_ns = 0.0

@@ -1,0 +1,20 @@
+"""SATA 3.0 link model (used only for the SATA SSD comparison in Figure 6)."""
+
+from __future__ import annotations
+
+from ..config import SATAConfig
+from .link import Link
+
+
+class SATALink(Link):
+    """SATA 3.0 host link: ~550 MB/s with a heavy per-command AHCI overhead."""
+
+    def __init__(self, config: SATAConfig) -> None:
+        super().__init__()
+        self.config = config
+
+    def raw_transfer_time(self, size_bytes: int) -> float:
+        return size_bytes / self.config.bandwidth_bytes_per_ns
+
+    def per_transfer_overhead(self, size_bytes: int) -> float:
+        return self.config.command_overhead_ns

@@ -1,0 +1,14 @@
+"""Memory-device substrate: DDR4 DRAM, NVDIMM-N, Optane DC PMM, and the MCH."""
+
+from .dram import DRAMDevice
+from .nvdimm import NVDIMM, NVDIMMState
+from .optane import OptaneDCPMM
+from .mch import MemoryControllerHub
+
+__all__ = [
+    "DRAMDevice",
+    "NVDIMM",
+    "NVDIMMState",
+    "OptaneDCPMM",
+    "MemoryControllerHub",
+]

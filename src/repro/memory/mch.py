@@ -1,0 +1,63 @@
+"""Memory controller hub (MCH).
+
+The MCH is where HAMS lives (Figure 8): it hosts the DDR4 memory controller
+for the NVDIMM, the PCIe root complex for storage, and — in the HAMS designs
+— the address manager, MoS cache logic and hardware NVMe engine.  The class
+here is a thin composition root that owns the device objects and the links
+between them, so platforms can be assembled declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config import SystemConfig
+from ..flash.ssd import SSD
+from ..interconnect.ddr_bus import DDR4Bus
+from ..interconnect.pcie import PCIeLink
+from ..interconnect.sata import SATALink
+from .nvdimm import NVDIMM
+
+
+@dataclass
+class MemoryControllerHub:
+    """Device composition for one simulated system."""
+
+    nvdimm: NVDIMM
+    ssd: Optional[SSD]
+    pcie: Optional[PCIeLink]
+    ddr_bus: DDR4Bus
+    sata: Optional[SATALink] = None
+
+    @staticmethod
+    def build(config: SystemConfig, ssd: Optional[SSD] = None,
+              attach_ssd_to_ddr: bool = False) -> "MemoryControllerHub":
+        """Assemble an MCH from a :class:`~repro.config.SystemConfig`.
+
+        ``attach_ssd_to_ddr`` selects the advanced-HAMS topology in which the
+        ULL-Flash sits on the DDR4 bus; otherwise the SSD (if any) is reached
+        through the PCIe root complex.
+        """
+        nvdimm = NVDIMM(config.nvdimm)
+        ddr_bus = DDR4Bus(config.nvdimm.ddr)
+        pcie = None if attach_ssd_to_ddr else PCIeLink(config.pcie)
+        sata = SATALink(config.sata)
+        return MemoryControllerHub(nvdimm=nvdimm, ssd=ssd, pcie=pcie,
+                                   ddr_bus=ddr_bus, sata=sata)
+
+    @property
+    def storage_link(self):
+        """The link data takes between the MCH and the SSD."""
+        return self.pcie if self.pcie is not None else self.ddr_bus
+
+    def statistics(self) -> Dict[str, float]:
+        stats: Dict[str, float] = {}
+        stats.update({f"nvdimm.{k}": v for k, v in self.nvdimm.statistics().items()})
+        if self.ssd is not None:
+            stats.update({f"ssd.{k}": v for k, v in self.ssd.statistics().items()})
+        if self.pcie is not None:
+            stats.update({f"pcie.{k}": v for k, v in self.pcie.statistics().items()})
+        stats.update({f"ddr_bus.{k}": v
+                      for k, v in self.ddr_bus.statistics().items()})
+        return stats

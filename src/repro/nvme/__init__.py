@@ -1,0 +1,27 @@
+"""NVMe protocol substrate: commands, queue pairs, PRP pool, controller.
+
+This package implements the protocol machinery that both the software NVMe
+driver (mmap baseline) and the HAMS hardware NVMe engine sit on top of:
+64 B command structures with opcode / PRP / LBA / length fields plus the
+journal tag HAMS adds in the reserved area, submission/completion queue
+rings with head/tail pointers and doorbells, a physical-region-page pool,
+and a controller front-end that forwards commands to an SSD device model and
+posts completions (Section II-C, Figure 4b).
+"""
+
+from .commands import NVMeCommand, NVMeCompletion, NVMeOpcode
+from .prp import PRPEntry, PRPPool
+from .queues import CompletionQueue, QueuePair, SubmissionQueue
+from .controller import NVMeController
+
+__all__ = [
+    "NVMeCommand",
+    "NVMeCompletion",
+    "NVMeOpcode",
+    "PRPEntry",
+    "PRPPool",
+    "SubmissionQueue",
+    "CompletionQueue",
+    "QueuePair",
+    "NVMeController",
+]

@@ -1,0 +1,210 @@
+"""Platform base class and the shared trace-replay loop.
+
+A platform is a complete system configuration (CPU + caches + some memory
+expansion scheme).  Running a workload trace on a platform produces a
+:class:`RunResult` that carries every quantity the paper's figures plot:
+application throughput (pages/s or SQL ops/s), the execution-time breakdown
+(app / OS / SSD, Figure 17), the memory-delay breakdown (NVDIMM / DMA / SSD,
+Figure 18), the energy breakdown (Figure 19), and IPC/MIPS for Figure 7b and
+the headline claim.
+
+The replay loop is identical across platforms: compute instructions retire
+at the base CPI, fine-grained references filter through the on-chip caches,
+and what misses is handed to :meth:`Platform.service_memory_access`, the one
+method each platform implements differently.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..config import SystemConfig
+from ..energy.accounting import EnergyAccount, EnergyBreakdown
+from ..energy.models import EnergyModel
+from ..host.caches import CacheHierarchy
+from ..host.cpu import CPUModel
+from ..workloads.trace import WorkloadTrace
+
+
+@dataclass
+class MemoryServiceResult:
+    """What one off-chip memory access cost on a given platform.
+
+    The three components are *additive* and classified the way Figure 17
+    classifies them: ``latency_ns`` is the part charged to the application
+    itself (the LD/ST stall), ``os_ns`` is software-stack time (page faults,
+    context switches, file system, block layer, driver), and ``storage_ns``
+    is raw device wait that the OS exposes to the application.  Platforms
+    without OS involvement (HAMS, oracle, Optane) fold everything into
+    ``latency_ns``.
+    """
+
+    latency_ns: float
+    os_ns: float = 0.0
+    storage_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0 or self.os_ns < 0 or self.storage_ns < 0:
+            raise ValueError("latencies cannot be negative")
+
+
+@dataclass
+class RunResult:
+    """Everything measured while replaying one trace on one platform."""
+
+    platform: str
+    workload: str
+    suite: str
+    operation_unit: str
+    operations: float
+    total_ns: float
+    app_ns: float
+    os_ns: float
+    ssd_ns: float
+    memory_stall_ns: float
+    compute_ns: float
+    instructions: int
+    memory_accesses: int
+    offchip_accesses: int
+    ipc: float
+    mips: float
+    energy: EnergyBreakdown
+    memory_delay: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def operations_per_second(self) -> float:
+        if self.total_ns <= 0:
+            return 0.0
+        return self.operations / (self.total_ns / 1e9)
+
+    @property
+    def kilo_pages_per_second(self) -> float:
+        """The Figure 16a metric (only meaningful for page-unit workloads)."""
+        return self.operations_per_second / 1e3
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Normalised execution-time breakdown (Figure 17 categories)."""
+        total = self.total_ns
+        if total <= 0:
+            return {"app": 0.0, "os": 0.0, "ssd": 0.0}
+        return {
+            "app": self.app_ns / total,
+            "os": self.os_ns / total,
+            "ssd": self.ssd_ns / total,
+        }
+
+
+class Platform(abc.ABC):
+    """A complete simulated system able to replay workload traces."""
+
+    #: Human-readable platform name (matches the paper's legend labels).
+    name: str = "abstract"
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.cpu = CPUModel(config.cpu)
+        self.caches = CacheHierarchy(config.caches)
+
+    # -- per-platform hooks -------------------------------------------------------
+
+    @abc.abstractmethod
+    def service_memory_access(self, address: int, size_bytes: int,
+                              is_write: bool, at_ns: float) -> MemoryServiceResult:
+        """Resolve one off-chip memory access starting at *at_ns*."""
+
+    @abc.abstractmethod
+    def collect_energy(self, account: EnergyAccount) -> None:
+        """Populate *account* with the device activity of the finished run."""
+
+    def energy_model(self) -> EnergyModel:
+        """Default energy model; platforms without an SSD-internal DRAM override."""
+        return EnergyModel(self.config.energy,
+                           self.config.nvdimm.capacity_bytes,
+                           ssd_internal_dram_present=True)
+
+    def memory_delay_breakdown(self) -> Dict[str, float]:
+        """Figure 18 components; platforms that track them override this."""
+        return {}
+
+    def prepare(self, trace: WorkloadTrace) -> None:
+        """Hook called before replay (preconditioning, warm data placement)."""
+
+    # -- the shared replay loop -------------------------------------------------------
+
+    def run(self, trace: WorkloadTrace) -> RunResult:
+        """Replay *trace* and return the full measurement record."""
+        self.prepare(trace)
+        now = 0.0
+        compute_per_access = trace.compute_instructions_per_access
+        cache_line = self.config.caches.line_size
+        offchip = 0
+
+        for access in trace.accesses:
+            # Compute phase between memory references.
+            compute_instructions = int(compute_per_access)
+            if compute_instructions:
+                now += self.cpu.execute_compute(compute_instructions)
+
+            # Page-granular references (the mmap microbenchmark) stream
+            # through the caches without reuse, so they are treated as
+            # off-chip accesses directly; fine-grained references filter
+            # through L1/L2 first.
+            if access.size_bytes <= cache_line:
+                cache_result = self.caches.access(access.address, access.is_write)
+                if not cache_result.is_miss:
+                    now += self.cpu.execute_memory(cache_result.latency_ns)
+                    continue
+                on_chip_ns = cache_result.latency_ns
+            else:
+                self.caches.memory_accesses += 1
+                self.caches.accesses += 1
+                on_chip_ns = self.config.caches.l2_latency_ns
+
+            offchip += 1
+            service = self.service_memory_access(access.address,
+                                                 access.size_bytes,
+                                                 access.is_write, now)
+            stall_ns = on_chip_ns + service.latency_ns
+            self.cpu.execute_memory(stall_ns)
+            self.cpu.charge_os(service.os_ns)
+            self.cpu.charge_storage(service.storage_ns)
+            now += stall_ns + service.os_ns + service.storage_ns
+
+        account = self.cpu.account
+        total_ns = max(now, account.total_ns)
+
+        energy_account = EnergyAccount()
+        energy_account.charge_cpu(busy_ns=account.compute_ns + account.os_ns,
+                                  idle_ns=0.0)
+        self.collect_energy(energy_account)
+        energy_account.finalise(total_ns)
+        energy = energy_account.breakdown(self.energy_model())
+
+        return RunResult(
+            platform=self.name,
+            workload=trace.name,
+            suite=trace.suite,
+            operation_unit=trace.operation_unit,
+            operations=trace.operations,
+            total_ns=total_ns,
+            app_ns=account.app_ns,
+            os_ns=account.os_ns,
+            ssd_ns=account.storage_ns,
+            memory_stall_ns=account.memory_stall_ns,
+            compute_ns=account.compute_ns,
+            instructions=account.instructions,
+            memory_accesses=trace.memory_access_count,
+            offchip_accesses=offchip,
+            ipc=self.cpu.ipc,
+            mips=self.cpu.mips,
+            energy=energy,
+            memory_delay=self.memory_delay_breakdown(),
+            extras=self.extra_statistics(),
+        )
+
+    def extra_statistics(self) -> Dict[str, float]:
+        """Additional per-platform statistics attached to the result."""
+        return dict(self.caches.statistics())

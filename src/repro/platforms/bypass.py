@@ -1,0 +1,89 @@
+"""Bypass-strategy platforms for the Figure 7b motivation study.
+
+Section III-C asks: what happens if we simply remove the software stack and
+expose the device directly to load/store instructions?  Three strategies are
+compared:
+
+* ``nvdimm`` — every reference is served by NVDIMM (the upper bound),
+* ``ull``    — every off-chip reference is served directly by the ULL-Flash
+  (a 4 KB Z-NAND read per miss, ~3 us plus transfer), and
+* ``ull-buff`` — the ULL-Flash is fronted by a small DRAM page buffer.
+
+The IPC collapse of the latter two (0.001 / 0.003 vs 0.06) motivates HAMS:
+removing software is not enough, the NVDIMM must stay on the critical path
+as a large hardware-managed cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import SystemConfig
+from ..energy.accounting import EnergyAccount
+from ..flash.ssd import SSD
+from ..host.os_stack import PageCache
+from ..interconnect.pcie import PCIeLink
+from ..memory.nvdimm import NVDIMM
+from ..units import KB, MB
+from ..workloads.trace import WorkloadTrace
+from .base import MemoryServiceResult, Platform
+
+_PAGE = KB(4)
+
+
+class BypassPlatform(Platform):
+    """Direct load/store service by NVDIMM, ULL-Flash, or buffered ULL-Flash."""
+
+    def __init__(self, config: SystemConfig, strategy: str = "nvdimm",
+                 buffer_bytes: int = MB(64)) -> None:
+        super().__init__(config)
+        if strategy not in ("nvdimm", "ull", "ull-buff"):
+            raise ValueError(f"unknown bypass strategy {strategy!r}")
+        self.strategy = strategy
+        self.name = f"bypass-{strategy}"
+        self.nvdimm = NVDIMM(config.nvdimm)
+        self.ssd = SSD(config.ssd)
+        self.link = PCIeLink(config.pcie)
+        self.page_buffer = PageCache(buffer_bytes, _PAGE)
+        self._nvdimm_busy_ns = 0.0
+
+    def prepare(self, trace: WorkloadTrace) -> None:
+        if self.strategy != "nvdimm":
+            pages = min(self.ssd.logical_pages,
+                        (trace.dataset_bytes + _PAGE - 1) // _PAGE)
+            self.ssd.precondition(0, pages)
+
+    def service_memory_access(self, address: int, size_bytes: int,
+                              is_write: bool, at_ns: float) -> MemoryServiceResult:
+        if self.strategy == "nvdimm":
+            result = self.nvdimm.access(size_bytes, is_write)
+            self._nvdimm_busy_ns += result.latency_ns
+            return MemoryServiceResult(latency_ns=result.latency_ns)
+
+        page = address // _PAGE
+        if self.strategy == "ull-buff" and self.page_buffer.access(page, is_write):
+            result = self.nvdimm.access(min(size_bytes, _PAGE), is_write)
+            self._nvdimm_busy_ns += result.latency_ns
+            return MemoryServiceResult(latency_ns=result.latency_ns)
+
+        # Every miss is a synchronous 4 KB device access on the load/store path.
+        if is_write:
+            io = self.ssd.write(page * _PAGE, _PAGE, at_ns)
+        else:
+            io = self.ssd.read(page * _PAGE, _PAGE, at_ns)
+        transfer = self.link.transfer(_PAGE, io.finish_ns)
+        latency = (io.finish_ns - at_ns) + transfer.latency_ns
+        if self.strategy == "ull-buff":
+            self.page_buffer.install(page, dirty=is_write)
+        return MemoryServiceResult(latency_ns=latency)
+
+    def collect_energy(self, account: EnergyAccount) -> None:
+        account.charge_nvdimm(active_ns=self._nvdimm_busy_ns,
+                              bytes_moved=self.nvdimm.dram.bytes_total)
+        account.charge_flash(self.ssd.fil.page_reads, self.ssd.fil.page_programs)
+        account.charge_link(pcie_bytes=int(self.link.bytes_transferred))
+
+    def extra_statistics(self) -> Dict[str, float]:
+        stats = super().extra_statistics()
+        stats["page_buffer_hit_rate"] = self.page_buffer.hit_rate
+        return stats

@@ -1,0 +1,113 @@
+"""HAMS platforms: the four evaluated configurations of the proposed design.
+
+``hams-LP`` / ``hams-LE`` wrap the loosely-coupled (baseline) controller —
+NVDIMM on DDR4, ULL-Flash behind PCIe/NVMe — in persist and extend mode;
+``hams-TP`` / ``hams-TE`` wrap the aggressively integrated controller with
+the register-based DDR4 interface and no SSD-internal DRAM.
+
+From the platform's point of view HAMS is just memory: every off-chip
+reference is handed to the :class:`~repro.core.hams_controller.HAMSController`
+and the full latency is charged to the application (the paper's Figure 17
+classifies HAMS storage accesses as LD/ST latency, not as OS or SSD time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import SystemConfig
+from ..core.hams_controller import HAMSController
+from ..core.persistency import RecoveryReport
+from ..energy.accounting import EnergyAccount
+from ..energy.models import EnergyModel
+from ..workloads.trace import WorkloadTrace
+from .base import MemoryServiceResult, Platform
+
+_VARIANTS = {
+    "hams-LP": ("loose", "persist"),
+    "hams-LE": ("loose", "extend"),
+    "hams-TP": ("tight", "persist"),
+    "hams-TE": ("tight", "extend"),
+}
+
+
+class HAMSPlatform(Platform):
+    """A system whose entire memory expansion is one HAMS controller."""
+
+    def __init__(self, config: SystemConfig, variant: str = "hams-TE") -> None:
+        if variant not in _VARIANTS:
+            raise ValueError(
+                f"unknown HAMS variant {variant!r}; expected one of "
+                f"{sorted(_VARIANTS)}")
+        integration, mode = _VARIANTS[variant]
+        config = config.with_hams(integration=integration, mode=mode)
+        super().__init__(config)
+        self.variant = variant
+        self.name = variant
+        self.controller = HAMSController(config)
+
+    # -- preparation -------------------------------------------------------------
+
+    def prepare(self, trace: WorkloadTrace) -> None:
+        """Precondition the ULL-Flash so the dataset is fully mapped."""
+        page_size = self.controller.ssd.page_size
+        pages = min(self.controller.ssd.logical_pages,
+                    (trace.dataset_bytes + page_size - 1) // page_size)
+        self.controller.ssd.precondition(0, pages)
+
+    # -- the hardware datapath -------------------------------------------------------
+
+    def service_memory_access(self, address: int, size_bytes: int,
+                              is_write: bool, at_ns: float) -> MemoryServiceResult:
+        result = self.controller.access(address, size_bytes, is_write, at_ns)
+        return MemoryServiceResult(latency_ns=result.latency_ns)
+
+    # -- persistency passthrough ---------------------------------------------------------
+
+    def power_failure(self, at_ns: float) -> float:
+        return self.controller.power_failure(at_ns)
+
+    def recover(self, at_ns: float) -> RecoveryReport:
+        return self.controller.recover(at_ns)
+
+    # -- energy -------------------------------------------------------------------
+
+    def collect_energy(self, account: EnergyAccount) -> None:
+        controller = self.controller
+        account.charge_nvdimm(active_ns=controller.nvdimm.dram.busy_ns,
+                              bytes_moved=controller.nvdimm.dram.bytes_total)
+        ssd = controller.ssd
+        if ssd.buffer.enabled:
+            buffer_accesses = (ssd.buffer.stats.read_hits
+                               + ssd.buffer.stats.write_hits
+                               + ssd.buffer.stats.read_misses
+                               + ssd.buffer.stats.write_misses)
+            account.charge_internal_dram(buffer_accesses * ssd.page_size)
+        account.charge_flash(
+            ssd.fil.page_reads + controller.background_flash_reads,
+            ssd.fil.page_programs + controller.background_flash_programs)
+        link_bytes = int(controller.link.bytes_transferred
+                         + controller.background_link_bytes)
+        if controller.hams_config.is_tight:
+            account.charge_link(ddr_bytes=link_bytes)
+        else:
+            account.charge_link(pcie_bytes=link_bytes)
+
+    def energy_model(self) -> EnergyModel:
+        return EnergyModel(self.config.energy,
+                           self.config.nvdimm.capacity_bytes,
+                           ssd_internal_dram_present=not
+                           self.controller.hams_config.is_tight)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def memory_delay_breakdown(self) -> Dict[str, float]:
+        return self.controller.memory_delay_breakdown()
+
+    def extra_statistics(self) -> Dict[str, float]:
+        stats = super().extra_statistics()
+        stats.update({f"hams_{key}": value
+                      for key, value in self.controller.statistics().items()})
+        stats["nvdimm_cache_hit_rate"] = self.controller.hit_rate
+        stats["dma_overhead_fraction"] = self.controller.dma_overhead_fraction()
+        return stats

@@ -1,0 +1,166 @@
+"""The MMF (memory-mapped file) baseline platform.
+
+This is the conventional software path of Section II-B: the dataset lives on
+an SSD, ``mmap`` exposes it to the application, and every first touch of a
+page raises a page fault that walks the whole storage stack — page-fault
+handler, file system, blk-mq, NVMe driver — before the data lands in the OS
+page cache held in host DRAM.  Subsequent touches of resident pages run at
+DRAM speed; evictions of dirty pages go back down the same stack.
+
+The SSD behind the file is configurable (``ull-flash``, ``nvme-ssd`` or
+``sata-ssd``) which is exactly the comparison of Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import SystemConfig
+from ..energy.accounting import EnergyAccount
+from ..flash.ssd import SSD, make_ssd
+from ..host.os_stack import OSStorageStack, PageCache
+from ..interconnect.link import Link
+from ..interconnect.pcie import PCIeLink
+from ..interconnect.sata import SATALink
+from ..memory.nvdimm import NVDIMM
+from ..nvme.commands import build_read, build_write
+from ..nvme.controller import NVMeController
+from ..units import KB
+from ..workloads.trace import WorkloadTrace
+from .base import MemoryServiceResult, Platform
+
+OS_PAGE_BYTES = KB(4)
+
+
+class MmapPlatform(Platform):
+    """NVDIMM + SSD glued together by ``mmap`` and the Linux storage stack."""
+
+    name = "mmap"
+
+    def __init__(self, config: SystemConfig, ssd_kind: str = "ull-flash",
+                 ssd: Optional[SSD] = None) -> None:
+        super().__init__(config)
+        self.ssd_kind = ssd_kind
+        if ssd is not None:
+            self.ssd = ssd
+        elif ssd_kind == "ull-flash":
+            # Use the (scaled) configured ULL-Flash so capacities line up.
+            self.ssd = SSD(config.ssd)
+        else:
+            self.ssd = make_ssd(ssd_kind,
+                                capacity_bytes=config.ssd.geometry
+                                .usable_capacity_bytes)
+        self.link: Link = (SATALink(config.sata) if ssd_kind == "sata-ssd"
+                           else PCIeLink(config.pcie))
+        self.controller = NVMeController(self.ssd, self.link, config.nvme)
+        self.nvdimm = NVDIMM(config.nvdimm)
+        self.page_cache = PageCache(config.nvdimm.cacheable_bytes, OS_PAGE_BYTES)
+        self.os_stack = OSStorageStack(config.os_stack, OS_PAGE_BYTES)
+        self._nvdimm_busy_ns = 0.0
+        self._last_faulted_page = -2
+        self.major_faults = 0
+        self.readahead_fills = 0
+        self.writebacks = 0
+
+    # -- preparation -------------------------------------------------------------
+
+    def prepare(self, trace: WorkloadTrace) -> None:
+        """Precondition the SSD so every dataset page is mapped (warm media)."""
+        pages = min(self.ssd.logical_pages,
+                    (trace.dataset_bytes + OS_PAGE_BYTES - 1) // OS_PAGE_BYTES)
+        self.ssd.precondition(0, pages)
+
+    # -- the software datapath -------------------------------------------------------
+
+    def service_memory_access(self, address: int, size_bytes: int,
+                              is_write: bool, at_ns: float) -> MemoryServiceResult:
+        page = address // OS_PAGE_BYTES
+        if self.page_cache.access(page, is_write):
+            dram = self.nvdimm.access(min(size_bytes, OS_PAGE_BYTES), is_write)
+            self._nvdimm_busy_ns += dram.latency_ns
+            return MemoryServiceResult(latency_ns=dram.latency_ns)
+        return self._page_fault(page, size_bytes, is_write, at_ns)
+
+    def _page_fault(self, page: int, size_bytes: int, is_write: bool,
+                    at_ns: float) -> MemoryServiceResult:
+        """A major fault: software stack + device read + page-cache install."""
+        self.major_faults += 1
+        fault = self.os_stack.fault_cost(needs_io=True)
+        os_ns = fault.mmap_ns + fault.io_stack_ns + fault.copy_ns
+
+        # Sequential faults benefit from readahead: one larger device read
+        # covers the next pages, which then hit in the page cache.
+        sequential = page == self._last_faulted_page + 1
+        self._last_faulted_page = page
+        readahead = self.os_stack.readahead_pages if sequential else 1
+        read_bytes = OS_PAGE_BYTES * readahead
+
+        command = build_read(lba=page * (OS_PAGE_BYTES // 512),
+                             length_bytes=read_bytes, prp=0)
+        io = self.controller.execute(command, at_ns + os_ns)
+        storage_ns = io.latency_ns
+
+        os_ns += self._install_pages(page, readahead, is_write,
+                                     at_ns + os_ns + storage_ns)
+        if sequential and readahead > 1:
+            self.readahead_fills += readahead - 1
+
+        # The faulting reference finally completes from DRAM.
+        dram = self.nvdimm.access(min(size_bytes, OS_PAGE_BYTES), is_write)
+        self._nvdimm_busy_ns += dram.latency_ns
+
+        return MemoryServiceResult(latency_ns=dram.latency_ns, os_ns=os_ns,
+                                   storage_ns=storage_ns)
+
+    def _install_pages(self, first_page: int, count: int,
+                       first_is_dirty: bool, at_ns: float) -> float:
+        """Install faulted/readahead pages; dirty evictions go back to the SSD."""
+        extra_os_ns = 0.0
+        for offset in range(count):
+            dirty = first_is_dirty and offset == 0
+            evicted = self.page_cache.install(first_page + offset, dirty=dirty)
+            if evicted is not None and evicted[1]:
+                extra_os_ns += self._writeback_page(evicted[0], at_ns)
+        return extra_os_ns
+
+    def _writeback_page(self, page: int, at_ns: float) -> float:
+        """Write one dirty page back through the storage stack.
+
+        Writeback runs mostly asynchronously (pdflush-style), so only a
+        fraction of the device time lands on the faulting thread; the
+        software cost of building and submitting the bio is still paid.
+        """
+        self.writebacks += 1
+        software_ns = self.os_stack.writeback_cost()
+        command = build_write(lba=page * (OS_PAGE_BYTES // 512),
+                              length_bytes=OS_PAGE_BYTES, prp=0)
+        io = self.controller.execute(command, at_ns)
+        return software_ns + io.latency_ns * 0.1
+
+    # -- energy -------------------------------------------------------------------
+
+    def collect_energy(self, account: EnergyAccount) -> None:
+        account.charge_nvdimm(active_ns=self._nvdimm_busy_ns,
+                              bytes_moved=self.nvdimm.dram.bytes_total)
+        buffer_bytes = ((self.ssd.buffer.stats.read_hits
+                         + self.ssd.buffer.stats.write_hits
+                         + self.ssd.buffer.stats.read_misses
+                         + self.ssd.buffer.stats.write_misses)
+                        * self.ssd.page_size)
+        account.charge_internal_dram(buffer_bytes)
+        account.charge_flash(self.ssd.fil.page_reads, self.ssd.fil.page_programs)
+        account.charge_link(pcie_bytes=int(self.link.bytes_transferred))
+
+    # -- reporting -------------------------------------------------------------------
+
+    def extra_statistics(self) -> Dict[str, float]:
+        stats = super().extra_statistics()
+        stats.update({
+            "major_faults": float(self.major_faults),
+            "readahead_fills": float(self.readahead_fills),
+            "writebacks": float(self.writebacks),
+            "page_cache_hit_rate": self.page_cache.hit_rate,
+        })
+        stats.update({f"os_{key}": value
+                      for key, value in self.os_stack.statistics().items()})
+        return stats

@@ -1,0 +1,58 @@
+"""The oracle platform: a 512 GB NVDIMM that holds every dataset entirely.
+
+This is the upper bound the paper compares against (Figure 16): all data is
+byte-addressable at DRAM latency, there is no storage device and no OS
+storage stack on any path.  The only costs are the on-chip caches and the
+DDR4 access itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from ..config import SystemConfig
+from ..energy.accounting import EnergyAccount
+from ..energy.models import EnergyModel
+from ..memory.nvdimm import NVDIMM
+from ..units import GB
+from .base import MemoryServiceResult, Platform
+
+
+class OraclePlatform(Platform):
+    """All-NVDIMM system: every access is a local DRAM access."""
+
+    name = "oracle"
+
+    def __init__(self, config: SystemConfig,
+                 capacity_bytes: int | None = None) -> None:
+        super().__init__(config)
+        # The oracle DIMM is sized to hold any evaluated dataset; by default
+        # it mirrors the 512 GB Optane capacity (scaled with everything else).
+        capacity = (capacity_bytes if capacity_bytes is not None
+                    else max(config.optane.capacity_bytes,
+                             config.nvdimm.capacity_bytes))
+        nvdimm_config = replace(config.nvdimm, capacity_bytes=capacity,
+                                pinned_region_bytes=0)
+        self.nvdimm = NVDIMM(nvdimm_config)
+        self._nvdimm_busy_ns = 0.0
+
+    def service_memory_access(self, address: int, size_bytes: int,
+                              is_write: bool, at_ns: float) -> MemoryServiceResult:
+        result = self.nvdimm.access(size_bytes, is_write)
+        self._nvdimm_busy_ns += result.latency_ns
+        return MemoryServiceResult(latency_ns=result.latency_ns)
+
+    def collect_energy(self, account: EnergyAccount) -> None:
+        account.charge_nvdimm(active_ns=self._nvdimm_busy_ns,
+                              bytes_moved=self.nvdimm.dram.bytes_total)
+
+    def energy_model(self) -> EnergyModel:
+        return EnergyModel(self.config.energy, self.nvdimm.capacity_bytes,
+                           ssd_internal_dram_present=False)
+
+    def extra_statistics(self) -> Dict[str, float]:
+        stats = super().extra_statistics()
+        stats.update({f"nvdimm_{key}": value
+                      for key, value in self.nvdimm.statistics().items()})
+        return stats

@@ -1,0 +1,72 @@
+"""Platform registry: build any evaluated platform by its paper-legend name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..config import SystemConfig, default_config
+from .base import Platform
+from .bypass import BypassPlatform
+from .flatflash import FlatFlashPlatform
+from .hams_platform import HAMSPlatform
+from .mmap_platform import MmapPlatform
+from .nvdimm_c import NvdimmCPlatform
+from .optane import OptanePlatform
+from .oracle import OraclePlatform
+
+#: Platform names in the order Figure 16's legend lists them.
+PLATFORM_NAMES: List[str] = [
+    "mmap",
+    "flatflash-P",
+    "flatflash-M",
+    "hams-LP",
+    "hams-LE",
+    "nvdimm-C",
+    "optane-P",
+    "optane-M",
+    "hams-TP",
+    "hams-TE",
+    "oracle",
+]
+
+_FACTORIES: Dict[str, Callable[[SystemConfig], Platform]] = {
+    "mmap": lambda config: MmapPlatform(config, ssd_kind="ull-flash"),
+    "mmap-ull": lambda config: MmapPlatform(config, ssd_kind="ull-flash"),
+    "mmap-nvme": lambda config: MmapPlatform(config, ssd_kind="nvme-ssd"),
+    "mmap-sata": lambda config: MmapPlatform(config, ssd_kind="sata-ssd"),
+    "flatflash-P": lambda config: FlatFlashPlatform(config, mode="persist"),
+    "flatflash-M": lambda config: FlatFlashPlatform(config, mode="memory"),
+    "optane-P": lambda config: OptanePlatform(config, mode="persist"),
+    "optane-M": lambda config: OptanePlatform(config, mode="memory"),
+    "nvdimm-C": lambda config: NvdimmCPlatform(config),
+    "hams-LP": lambda config: HAMSPlatform(config, variant="hams-LP"),
+    "hams-LE": lambda config: HAMSPlatform(config, variant="hams-LE"),
+    "hams-TP": lambda config: HAMSPlatform(config, variant="hams-TP"),
+    "hams-TE": lambda config: HAMSPlatform(config, variant="hams-TE"),
+    "oracle": lambda config: OraclePlatform(config),
+    "bypass-nvdimm": lambda config: BypassPlatform(config, strategy="nvdimm"),
+    "bypass-ull": lambda config: BypassPlatform(config, strategy="ull"),
+    "bypass-ull-buff": lambda config: BypassPlatform(config, strategy="ull-buff"),
+}
+
+
+def available_platforms() -> List[str]:
+    """Every name :func:`create_platform` accepts."""
+    return sorted(_FACTORIES)
+
+
+def create_platform(name: str,
+                    config: Optional[SystemConfig] = None) -> Platform:
+    """Instantiate the platform called *name* with the given configuration.
+
+    ``config`` defaults to the Table II system; experiments normally pass a
+    configuration already shrunk by
+    :func:`repro.workloads.registry.scale_system_config`.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; expected one of {available_platforms()}"
+        ) from None
+    return factory(config if config is not None else default_config())

@@ -1,0 +1,15 @@
+"""Discrete-event simulation primitives and statistics collection."""
+
+from .engine import Event, EventQueue, SimClock, Simulator
+from .stats import Counter, Histogram, LatencyStat, StatRegistry
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimClock",
+    "Simulator",
+    "Counter",
+    "Histogram",
+    "LatencyStat",
+    "StatRegistry",
+]

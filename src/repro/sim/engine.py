@@ -1,0 +1,175 @@
+"""A small discrete-event simulation engine.
+
+The library is mostly *trace-driven*: device models compute completion times
+analytically from their internal resource-occupancy state.  A handful of
+components (the flash channel/die scheduler, the NVMe queue engine, the
+power-failure state machine) still benefit from an explicit event loop, which
+this module provides.
+
+The engine is deliberately minimal: a priority queue of ``(time, seq,
+callback)`` triples, a monotonically advancing clock, and convenience
+wrappers for scheduling relative and absolute events.  Determinism is
+guaranteed by the sequence number tiebreaker.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimClock:
+    """Monotonic simulation clock in nanoseconds."""
+
+    def __init__(self, start_ns: float = 0.0) -> None:
+        self._now = float(start_ns)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, time_ns: float) -> None:
+        """Move the clock forward to *time_ns*.
+
+        Attempting to move the clock backwards is a programming error and
+        raises ``ValueError`` so the bug is caught at the source.
+        """
+        if time_ns < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now}, target={time_ns}")
+        self._now = float(time_ns)
+
+    def advance_by(self, delta_ns: float) -> float:
+        """Advance the clock by *delta_ns* and return the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"negative time delta: {delta_ns}")
+        self._now += float(delta_ns)
+        return self._now
+
+    def reset(self, start_ns: float = 0.0) -> None:
+        self._now = float(start_ns)
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, seq)``; the payload callback is excluded from
+    comparisons so identical timestamps are broken by insertion order.
+    """
+
+    time_ns: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time_ns: float, callback: Callable[[], None],
+             name: str = "") -> Event:
+        event = Event(time_ns=time_ns, seq=next(self._seq),
+                      callback=callback, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time_ns
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+
+class Simulator:
+    """Event loop binding a :class:`SimClock` to an :class:`EventQueue`."""
+
+    def __init__(self, start_ns: float = 0.0) -> None:
+        self.clock = SimClock(start_ns)
+        self.queue = EventQueue()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule_at(self, time_ns: float, callback: Callable[[], None],
+                    name: str = "") -> Event:
+        """Schedule *callback* at an absolute simulation time."""
+        if time_ns < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event in the past: now={self.clock.now}, "
+                f"requested={time_ns}")
+        return self.queue.push(time_ns, callback, name)
+
+    def schedule_after(self, delay_ns: float, callback: Callable[[], None],
+                       name: str = "") -> Event:
+        """Schedule *callback* ``delay_ns`` after the current time."""
+        if delay_ns < 0:
+            raise ValueError(f"negative delay: {delay_ns}")
+        return self.queue.push(self.clock.now + delay_ns, callback, name)
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time_ns)
+        event.callback()
+        self.events_processed += 1
+        return True
+
+    def run(self, until_ns: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Stops when the queue drains, when the next event lies beyond
+        *until_ns*, or after *max_events* events — whichever comes first.
+        Returns the simulation time at which the loop stopped.
+        """
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until_ns is not None and next_time > until_ns:
+                self.clock.advance_to(until_ns)
+                break
+            self.step()
+            processed += 1
+        return self.clock.now
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self.queue.clear()
+        self.clock.reset()
+        self.events_processed = 0

@@ -1,0 +1,199 @@
+"""Statistics collection: counters, latency aggregates, and histograms.
+
+Every device model owns a :class:`StatRegistry` so experiments can pull a
+flat name -> value mapping after a run.  The classes are intentionally plain
+Python (no numpy dependency) because they sit on hot paths of the trace loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Counter({self.name}={self.value})"
+
+
+class LatencyStat:
+    """Streaming aggregate of latency samples (count/sum/min/max/mean/std).
+
+    Uses Welford's online algorithm so the variance is numerically stable
+    without retaining every sample.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_mean", "_m2")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def record(self, sample: float) -> None:
+        if sample < 0:
+            raise ValueError(f"negative latency sample for {self.name!r}: {sample}")
+        self.count += 1
+        self.total += sample
+        self.min = min(self.min, sample)
+        self.max = max(self.max, sample)
+        delta = sample - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (sample - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "LatencyStat") -> None:
+        """Fold another aggregate into this one (parallel merge formula)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.min = other.min
+            self.max = other.max
+            self._mean = other._mean
+            self._m2 = other._m2
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean = (self._mean * self.count + other._mean * other.count) / combined
+        self.count = combined
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"LatencyStat({self.name}: n={self.count}, "
+                f"mean={self.mean:.1f}ns)")
+
+
+class Histogram:
+    """Fixed-bucket histogram for latency or size distributions."""
+
+    def __init__(self, name: str, bucket_bounds: Iterable[float]) -> None:
+        self.name = name
+        self.bounds = sorted(bucket_bounds)
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        # One extra bucket catches samples above the last bound.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total_samples = 0
+
+    def record(self, sample: float) -> None:
+        self.total_samples += 1
+        for index, bound in enumerate(self.bounds):
+            if sample <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def fraction_at_or_below(self, bound: float) -> float:
+        """Fraction of samples at or below *bound* (must be a bucket bound)."""
+        if self.total_samples == 0:
+            return 0.0
+        cumulative = 0
+        for index, bucket_bound in enumerate(self.bounds):
+            cumulative += self.counts[index]
+            if bucket_bound >= bound:
+                break
+        return cumulative / self.total_samples
+
+    def as_dict(self) -> Dict[str, int]:
+        labels = [f"<={bound:g}" for bound in self.bounds] + ["overflow"]
+        return dict(zip(labels, self.counts))
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total_samples = 0
+
+
+@dataclass
+class StatRegistry:
+    """A named collection of counters and latency aggregates."""
+
+    prefix: str = ""
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    latencies: Dict[str, LatencyStat] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(self._qualify(name))
+        return self.counters[name]
+
+    def latency(self, name: str) -> LatencyStat:
+        if name not in self.latencies:
+            self.latencies[name] = LatencyStat(self._qualify(name))
+        return self.latencies[name]
+
+    def histogram(self, name: str, bounds: Iterable[float]) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(self._qualify(name), bounds)
+        return self.histograms[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten all statistics into ``{qualified_name: value}``."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[self._qualify(name)] = counter.value
+        for name, stat in self.latencies.items():
+            base = self._qualify(name)
+            out[f"{base}.count"] = stat.count
+            out[f"{base}.mean_ns"] = stat.mean
+            out[f"{base}.total_ns"] = stat.total
+            out[f"{base}.max_ns"] = stat.max if stat.count else 0.0
+        return out
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for stat in self.latencies.values():
+            stat.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name

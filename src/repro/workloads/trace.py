@@ -1,0 +1,91 @@
+"""Trace records: the unit of work platforms consume.
+
+A :class:`WorkloadTrace` is a flat sequence of :class:`MemoryAccess` records
+plus the bookkeeping needed to convert simulated time into the paper's
+application-level metrics (pages/s for the microbenchmark and Rodinia,
+SQL operations/s for SQLite) and to charge the compute instructions that
+execute between memory references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference issued by the workload."""
+
+    address: int
+    size_bytes: int
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("size must be positive")
+
+
+@dataclass
+class WorkloadTrace:
+    """A generated trace ready to be replayed on a platform."""
+
+    name: str
+    suite: str
+    accesses: List[MemoryAccess]
+    dataset_bytes: int
+    compute_instructions_per_access: float
+    accesses_per_operation: float
+    operation_unit: str  # "pages" or "ops"
+    total_instructions: int
+
+    def __post_init__(self) -> None:
+        if self.dataset_bytes <= 0:
+            raise ValueError("dataset size must be positive")
+        if self.compute_instructions_per_access < 0:
+            raise ValueError("compute instructions cannot be negative")
+        if self.accesses_per_operation <= 0:
+            raise ValueError("accesses_per_operation must be positive")
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    @property
+    def memory_access_count(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def operations(self) -> float:
+        """Application-level operations represented by the trace."""
+        return self.memory_access_count / self.accesses_per_operation
+
+    @property
+    def read_count(self) -> int:
+        return sum(1 for access in self.accesses if not access.is_write)
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for access in self.accesses if access.is_write)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.write_count / len(self.accesses)
+
+    def touched_bytes(self) -> int:
+        """Upper bound of the address range the trace touches."""
+        if not self.accesses:
+            return 0
+        return max(access.address + access.size_bytes for access in self.accesses)
+
+    def operations_per_second(self, elapsed_ns: float) -> float:
+        """Convert a run duration into the paper's throughput metric."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.operations / (elapsed_ns / 1e9)

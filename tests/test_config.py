@@ -1,0 +1,171 @@
+"""Configuration dataclasses: defaults mirror Table II and validate inputs."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    DDRConfig,
+    FlashGeometry,
+    FlashTiming,
+    HAMSConfig,
+    NVDIMMConfig,
+    OptaneConfig,
+    PCIeConfig,
+    SSDConfig,
+    SystemConfig,
+    default_config,
+)
+from repro.units import GB, KB, MB
+
+
+class TestFlashTiming:
+    def test_znand_latencies_match_paper(self):
+        timing = FlashTiming.znand()
+        assert timing.read_ns == 3_000.0
+        assert timing.program_ns == 100_000.0
+
+    def test_vnand_is_slower_than_znand(self):
+        znand = FlashTiming.znand()
+        vnand = FlashTiming.vnand_tlc()
+        assert vnand.read_ns > znand.read_ns
+        assert vnand.program_ns > znand.program_ns
+
+    def test_vnand_ratios_match_paper(self):
+        # Z-NAND read/write are 15x / 7x lower than V-NAND.
+        znand = FlashTiming.znand()
+        vnand = FlashTiming.vnand_tlc()
+        assert vnand.read_ns / znand.read_ns == pytest.approx(15.0)
+        assert vnand.program_ns / znand.program_ns == pytest.approx(7.0)
+
+
+class TestFlashGeometry:
+    def test_capacity_composition(self):
+        geometry = FlashGeometry()
+        expected_raw = (geometry.channels * geometry.packages_per_channel
+                        * geometry.dies_per_package * geometry.planes_per_die
+                        * geometry.blocks_per_plane * geometry.pages_per_block
+                        * geometry.page_size)
+        assert geometry.raw_capacity_bytes == expected_raw
+
+    def test_usable_capacity_reflects_overprovisioning(self):
+        geometry = FlashGeometry()
+        assert geometry.usable_capacity_bytes < geometry.raw_capacity_bytes
+
+    def test_logical_pages(self):
+        geometry = FlashGeometry()
+        assert geometry.logical_pages == (geometry.usable_capacity_bytes
+                                          // geometry.page_size)
+
+
+class TestSSDConfig:
+    def test_ull_flash_capacity(self):
+        config = SSDConfig.ull_flash(GB(800))
+        assert config.geometry.usable_capacity_bytes >= GB(800)
+        assert config.name == "ull-flash"
+        assert config.split_channels is True
+
+    def test_nvme_ssd_uses_slower_flash(self):
+        ull = SSDConfig.ull_flash()
+        nvme = SSDConfig.nvme_ssd()
+        assert nvme.timing.read_ns > ull.timing.read_ns
+        assert nvme.split_channels is False
+
+    def test_sata_ssd_has_lower_channel_bandwidth(self):
+        sata = SSDConfig.sata_ssd()
+        ull = SSDConfig.ull_flash()
+        assert sata.channel_bw_bytes_per_ns < ull.channel_bw_bytes_per_ns
+
+    def test_default_buffer_is_512mb(self):
+        assert SSDConfig().dram_buffer_bytes == MB(512)
+
+
+class TestNVDIMMConfig:
+    def test_default_capacity_is_8gb(self):
+        assert NVDIMMConfig().capacity_bytes == GB(8)
+
+    def test_pinned_region_is_512mb(self):
+        assert NVDIMMConfig().pinned_region_bytes == MB(512)
+
+    def test_cacheable_excludes_pinned(self):
+        config = NVDIMMConfig()
+        assert config.cacheable_bytes == GB(8) - MB(512)
+
+
+class TestHAMSConfig:
+    def test_defaults(self):
+        config = HAMSConfig()
+        assert config.mos_page_bytes == KB(128)
+        assert config.integration == "loose"
+        assert config.mode == "extend"
+
+    def test_invalid_integration_rejected(self):
+        with pytest.raises(ValueError):
+            HAMSConfig(integration="bogus")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            HAMSConfig(mode="bogus")
+
+    def test_mos_page_must_be_multiple_of_4k(self):
+        with pytest.raises(ValueError):
+            HAMSConfig(mos_page_bytes=KB(3))
+
+    def test_mode_properties(self):
+        assert HAMSConfig(mode="persist").is_persist
+        assert not HAMSConfig(mode="extend").is_persist
+        assert HAMSConfig(integration="tight").is_tight
+
+
+class TestPCIeConfig:
+    def test_default_is_four_lane_gen3(self):
+        config = PCIeConfig()
+        assert config.lanes == 4
+        # ~4 GB/s aggregate.
+        assert config.bandwidth_bytes_per_ns == pytest.approx(
+            4 * config.per_lane_bw_bytes_per_ns)
+
+
+class TestSystemConfig:
+    def test_default_config_builds(self):
+        config = default_config()
+        assert isinstance(config, SystemConfig)
+        assert config.nvdimm.capacity_bytes == GB(8)
+
+    def test_with_hams_returns_modified_copy(self):
+        config = default_config()
+        modified = config.with_hams(mode="persist")
+        assert modified.hams.mode == "persist"
+        assert config.hams.mode == "extend"
+
+    def test_with_nvdimm_returns_modified_copy(self):
+        config = default_config()
+        modified = config.with_nvdimm(capacity_bytes=GB(16))
+        assert modified.nvdimm.capacity_bytes == GB(16)
+        assert config.nvdimm.capacity_bytes == GB(8)
+
+    def test_with_ssd_swaps_device(self):
+        config = default_config()
+        modified = config.with_ssd(SSDConfig.sata_ssd())
+        assert modified.ssd.name == "sata-ssd"
+
+    def test_configs_are_frozen(self):
+        config = default_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.nvdimm.capacity_bytes = 1  # type: ignore[misc]
+
+
+class TestOptaneConfig:
+    def test_default_capacity(self):
+        assert OptaneConfig().capacity_bytes == GB(512)
+
+    def test_internal_block_granularity(self):
+        assert OptaneConfig().internal_block_bytes == 256
+
+
+class TestDDRConfig:
+    def test_channel_bandwidth_is_about_20gbps(self):
+        config = DDRConfig()
+        # 20 GB/s/channel as quoted in Section IV-C.
+        assert config.channel_bw_bytes_per_ns == pytest.approx(
+            20 * 1024 ** 3 / 1e9)

@@ -1,0 +1,187 @@
+"""Address manager (Figure 9) and hazard management (Figures 13-14)."""
+
+import pytest
+
+from repro.config import HAMSConfig, NVDIMMConfig
+from repro.core.address_manager import AddressManager
+from repro.core.hazard import HazardManager, WaitQueue, WaitQueueFullError, WaitingRequest
+from repro.core.tag_array import MoSTagArray
+from repro.nvme.prp import PRPPool
+from repro.units import GB, KB, MB
+
+
+def manager(storage_bytes: int = GB(1)) -> AddressManager:
+    nvdimm = NVDIMMConfig(capacity_bytes=MB(64), pinned_region_bytes=MB(8))
+    hams = HAMSConfig(mos_page_bytes=KB(128))
+    return AddressManager(hams, nvdimm, storage_bytes)
+
+
+class TestAddressManager:
+    def test_mos_capacity_equals_storage(self):
+        assert manager(GB(2)).mos_capacity_bytes == GB(2)
+
+    def test_decompose_roundtrip(self):
+        mgr = manager()
+        address = 5 * KB(128) + 777
+        decomposed = mgr.decompose(address)
+        assert decomposed.mos_page == 5
+        assert decomposed.offset == 777
+        assert decomposed.index == mgr.tag_array.index_of(5)
+        assert decomposed.tag == mgr.tag_array.tag_of(5)
+
+    def test_nvdimm_offset(self):
+        mgr = manager()
+        decomposed = mgr.decompose(3 * KB(128) + 100)
+        assert decomposed.nvdimm_offset(KB(128)) == decomposed.index * KB(128) + 100
+
+    def test_out_of_range_address_rejected(self):
+        mgr = manager(GB(1))
+        with pytest.raises(ValueError):
+            mgr.decompose(GB(1))
+        with pytest.raises(ValueError):
+            mgr.validate(GB(1) - 10, size_bytes=100)
+        with pytest.raises(ValueError):
+            mgr.validate(-1)
+
+    def test_lba_mapping_roundtrip(self):
+        mgr = manager()
+        for page in (0, 1, 17, 1000):
+            lba = mgr.lba_of(page)
+            assert lba == page * (KB(128) // 512)
+            assert mgr.mos_page_of_lba(lba) == page
+
+    def test_lba_out_of_range(self):
+        mgr = manager(GB(1))
+        with pytest.raises(ValueError):
+            mgr.lba_of(mgr.mos_pages)
+
+    def test_pinned_region_at_top_of_nvdimm(self):
+        mgr = manager()
+        assert mgr.pinned_region_base == MB(64) - MB(8)
+        assert mgr.is_pinned(MB(64) - 1)
+        assert not mgr.is_pinned(0)
+
+    def test_pinned_check_bounds(self):
+        mgr = manager()
+        with pytest.raises(ValueError):
+            mgr.is_pinned(MB(64))
+
+    def test_cache_slots_never_overlap_pinned_region(self):
+        mgr = manager()
+        last_index = mgr.tag_array.entries_count - 1
+        offset = mgr.cache_slot_offset(last_index)
+        assert offset + KB(128) <= mgr.pinned_region_base
+
+    def test_statistics(self):
+        stats = manager().statistics()
+        assert stats["pinned_region_bytes"] == MB(8)
+        assert stats["mos_pages"] > 0
+
+
+class TestWaitQueue:
+    def test_fifo_order(self):
+        queue = WaitQueue(depth=4)
+        queue.push(WaitingRequest(1, False, 0.0))
+        queue.push(WaitingRequest(2, True, 1.0))
+        assert queue.pop().mos_page == 1
+        assert queue.pop().mos_page == 2
+        assert queue.pop() is None
+
+    def test_overflow(self):
+        queue = WaitQueue(depth=1)
+        queue.push(WaitingRequest(1, False, 0.0))
+        with pytest.raises(WaitQueueFullError):
+            queue.push(WaitingRequest(2, False, 0.0))
+
+    def test_pending_for(self):
+        queue = WaitQueue(depth=4)
+        queue.push(WaitingRequest(1, False, 0.0))
+        queue.push(WaitingRequest(1, True, 1.0))
+        queue.push(WaitingRequest(2, False, 2.0))
+        assert len(queue.pending_for(1)) == 2
+
+    def test_occupancy_tracking(self):
+        queue = WaitQueue(depth=4)
+        queue.push(WaitingRequest(1, False, 0.0))
+        queue.push(WaitingRequest(2, False, 0.0))
+        queue.pop()
+        assert queue.max_occupancy == 2
+        assert queue.enqueued_total == 2
+
+
+def _hazards(entries: int = 8) -> HazardManager:
+    tag_array = MoSTagArray(entries * KB(128), KB(128))
+    pool = PRPPool(MB(1), KB(128))
+    return HazardManager(tag_array, pool, wait_queue_depth=16)
+
+
+class TestHazardManager:
+    def test_begin_miss_sets_busy_and_clones_victim(self):
+        hazards = _hazards()
+        clone = hazards.begin_miss(index=2, mos_page=10, victim_page=2,
+                                   command_id=1, completes_at_ns=100.0)
+        assert clone is not None
+        assert clone.source_page == 2
+        assert hazards.is_busy(2)
+        assert hazards.evictions_cloned == 1
+        assert hazards.busy_until(2) == 100.0
+
+    def test_begin_miss_without_victim_skips_clone(self):
+        hazards = _hazards()
+        clone = hazards.begin_miss(index=1, mos_page=9, victim_page=None,
+                                   command_id=2, completes_at_ns=50.0)
+        assert clone is None
+        assert hazards.prp_pool.in_use == 0
+
+    def test_begin_miss_on_busy_entry_rejected(self):
+        hazards = _hazards()
+        hazards.begin_miss(index=0, mos_page=8, victim_page=None,
+                           command_id=1, completes_at_ns=10.0)
+        with pytest.raises(RuntimeError):
+            hazards.begin_miss(index=0, mos_page=16, victim_page=None,
+                               command_id=2, completes_at_ns=20.0)
+
+    def test_complete_miss_releases_everything(self):
+        hazards = _hazards()
+        hazards.begin_miss(index=3, mos_page=11, victim_page=3,
+                           command_id=7, completes_at_ns=10.0)
+        hazards.complete_miss(3)
+        assert not hazards.is_busy(3)
+        assert hazards.prp_pool.in_use == 0
+        assert hazards.outstanding_operations == 0
+
+    def test_complete_unknown_index_is_noop(self):
+        _hazards().complete_miss(5)
+
+    def test_attach_command_extends_completion(self):
+        hazards = _hazards()
+        hazards.begin_miss(index=1, mos_page=9, victim_page=None,
+                           command_id=1, completes_at_ns=10.0)
+        hazards.attach_command(1, command_id=2, completes_at_ns=200.0)
+        assert hazards.busy_until(1) == 200.0
+
+    def test_attach_to_unknown_operation_rejected(self):
+        with pytest.raises(KeyError):
+            _hazards().attach_command(4, command_id=1, completes_at_ns=1.0)
+
+    def test_park_counts_redundant_eviction(self):
+        """A second miss on a busy entry is parked, not re-issued (Figure 14)."""
+        hazards = _hazards()
+        hazards.begin_miss(index=0, mos_page=8, victim_page=0,
+                           command_id=1, completes_at_ns=100.0)
+        hazards.park(mos_page=16, is_write=True, at_ns=50.0)
+        assert hazards.redundant_evictions_avoided == 1
+        assert len(hazards.wait_queue) == 1
+        drained = hazards.drain_parked()
+        assert len(drained) == 1
+        assert drained[0].mos_page == 16
+
+    def test_statistics(self):
+        hazards = _hazards()
+        hazards.begin_miss(index=0, mos_page=8, victim_page=0,
+                           command_id=1, completes_at_ns=10.0)
+        hazards.park(16, False, 5.0)
+        stats = hazards.statistics()
+        assert stats["evictions_cloned"] == 1
+        assert stats["redundant_evictions_avoided"] == 1
+        assert stats["prp_peak_in_use"] == 1

@@ -1,0 +1,163 @@
+"""SSD-internal DRAM buffer, host interface layer, and flash interface layer."""
+
+import pytest
+
+from repro.config import FlashGeometry, FlashTiming
+from repro.flash.channel import ChannelScheduler
+from repro.flash.dram_buffer import InternalDRAMBuffer
+from repro.flash.fil import FlashInterfaceLayer
+from repro.flash.ftl import PhysicalAddress
+from repro.flash.hil import HostInterfaceLayer
+from repro.flash.znand import ZNANDArray
+from repro.units import KB, mb_per_s
+
+
+class TestInternalDRAMBuffer:
+    def test_read_miss_then_fill_then_hit(self):
+        buffer = InternalDRAMBuffer(KB(64), KB(4))
+        assert buffer.read(1) is False
+        buffer.fill(1)
+        assert buffer.read(1) is True
+        assert buffer.stats.read_hits == 1
+        assert buffer.stats.read_misses == 1
+
+    def test_write_marks_dirty(self):
+        buffer = InternalDRAMBuffer(KB(64), KB(4))
+        buffer.write(2)
+        assert buffer.dirty_pages == 1
+
+    def test_lru_eviction_returns_victim(self):
+        buffer = InternalDRAMBuffer(KB(8), KB(4))  # two pages
+        buffer.write(1)
+        buffer.write(2)
+        hit, evicted = buffer.write(3)
+        assert hit is False
+        assert evicted == (1, True)
+
+    def test_clean_fill_eviction_is_not_dirty(self):
+        buffer = InternalDRAMBuffer(KB(8), KB(4))
+        buffer.fill(1)
+        buffer.fill(2)
+        evicted = buffer.fill(3)
+        assert evicted == (1, False)
+
+    def test_disabled_buffer_never_hits(self):
+        buffer = InternalDRAMBuffer(KB(64), KB(4), enabled=False)
+        buffer.write(1)
+        assert buffer.read(1) is False
+        assert len(buffer) == 0
+
+    def test_mapping_table_fraction_reduces_capacity(self):
+        full = InternalDRAMBuffer(KB(16), KB(4))
+        reduced = InternalDRAMBuffer(KB(16), KB(4), mapping_table_fraction=0.5)
+        assert reduced.capacity_pages < full.capacity_pages
+
+    def test_flush_all_cleans_dirty_pages(self):
+        buffer = InternalDRAMBuffer(KB(64), KB(4))
+        buffer.write(1)
+        buffer.write(2)
+        flushed = buffer.flush_all()
+        assert sorted(flushed) == [1, 2]
+        assert buffer.dirty_pages == 0
+
+    def test_invalidate(self):
+        buffer = InternalDRAMBuffer(KB(64), KB(4))
+        buffer.fill(7)
+        buffer.invalidate(7)
+        assert 7 not in buffer
+
+    def test_hit_rate(self):
+        buffer = InternalDRAMBuffer(KB(64), KB(4))
+        buffer.write(1)       # miss
+        buffer.read(1)        # hit
+        assert buffer.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestHostInterfaceLayer:
+    def test_aligned_request_splits_into_pages(self):
+        hil = HostInterfaceLayer(KB(4), firmware_latency_ns=800)
+        pieces = hil.split(0, KB(16), is_write=False)
+        assert len(pieces) == 4
+        assert [piece.lpn for piece in pieces] == [0, 1, 2, 3]
+        assert all(piece.size_bytes == KB(4) for piece in pieces)
+
+    def test_unaligned_request_has_partial_edges(self):
+        hil = HostInterfaceLayer(KB(4), firmware_latency_ns=800)
+        pieces = hil.split(KB(2), KB(4), is_write=True)
+        assert len(pieces) == 2
+        assert pieces[0].size_bytes == KB(2)
+        assert pieces[1].size_bytes == KB(2)
+        assert all(piece.is_write for piece in pieces)
+
+    def test_sub_page_request(self):
+        hil = HostInterfaceLayer(KB(4), firmware_latency_ns=800)
+        pieces = hil.split(100, 64, is_write=False)
+        assert len(pieces) == 1
+        assert pieces[0].lpn == 0
+        assert pieces[0].size_bytes == 64
+
+    def test_parse_latency_grows_with_fanout(self):
+        hil = HostInterfaceLayer(KB(4), firmware_latency_ns=800)
+        assert hil.parse_latency(8) > hil.parse_latency(1)
+
+    def test_invalid_requests_rejected(self):
+        hil = HostInterfaceLayer(KB(4), firmware_latency_ns=800)
+        with pytest.raises(ValueError):
+            hil.split(-1, 10, False)
+        with pytest.raises(ValueError):
+            hil.split(0, 0, False)
+        with pytest.raises(ValueError):
+            hil.parse_latency(0)
+
+
+def _fil(split: bool) -> FlashInterfaceLayer:
+    geometry = FlashGeometry(channels=4, packages_per_channel=1,
+                             dies_per_package=1, planes_per_die=1,
+                             blocks_per_plane=8, pages_per_block=8)
+    array = ZNANDArray(geometry, FlashTiming.znand())
+    channels = ChannelScheduler(geometry, mb_per_s(800))
+    return FlashInterfaceLayer(array, channels, KB(4), split_channels=split)
+
+
+class TestFlashInterfaceLayer:
+    def test_read_includes_array_and_transfer(self):
+        fil = _fil(split=False)
+        address = PhysicalAddress(0, 0, 0, 0, 0, 0)
+        access = fil.read_page(address, 0.0)
+        assert access.array_time_ns == pytest.approx(3000.0)
+        assert access.transfer_time_ns > 0
+        assert access.finish_ns == pytest.approx(
+            access.array_time_ns + fil.channels.transfer_time(KB(4)))
+
+    def test_split_halves_per_request_transfer(self):
+        whole = _fil(split=False)
+        split = _fil(split=True)
+        address = PhysicalAddress(0, 0, 0, 0, 0, 0)
+        whole_access = whole.read_page(address, 0.0)
+        split_access = split.read_page(address, 0.0)
+        assert split_access.transfer_time_ns == pytest.approx(
+            whole_access.transfer_time_ns / 2)
+        assert split_access.finish_ns < whole_access.finish_ns
+
+    def test_write_pays_program_time(self):
+        fil = _fil(split=False)
+        address = PhysicalAddress(1, 0, 0, 0, 0, 0)
+        access = fil.write_page(address, 0.0)
+        assert access.array_time_ns == pytest.approx(100_000.0)
+        assert access.finish_ns > 100_000.0
+
+    def test_erase_has_no_transfer(self):
+        fil = _fil(split=False)
+        address = PhysicalAddress(1, 0, 0, 0, 0, 0)
+        access = fil.erase_block(address, 0.0)
+        assert access.transfer_time_ns == 0.0
+        assert access.array_time_ns == pytest.approx(1_000_000.0)
+
+    def test_operation_counters(self):
+        fil = _fil(split=True)
+        address = PhysicalAddress(0, 0, 0, 0, 0, 0)
+        fil.read_page(address, 0.0)
+        fil.write_page(address, 0.0)
+        fil.erase_block(address, 0.0)
+        stats = fil.statistics()
+        assert stats == {"page_reads": 1, "page_programs": 1, "block_erases": 1}

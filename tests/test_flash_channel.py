@@ -1,0 +1,74 @@
+"""Flash channel scheduler: serialisation per channel, load balancing."""
+
+import pytest
+
+from repro.config import FlashGeometry
+from repro.flash.channel import ChannelScheduler
+from repro.units import mb_per_s
+
+
+def scheduler(channels: int = 4) -> ChannelScheduler:
+    geometry = FlashGeometry(channels=channels)
+    return ChannelScheduler(geometry, mb_per_s(800))
+
+
+class TestTransferTiming:
+    def test_transfer_time_scales_with_size(self):
+        sched = scheduler()
+        assert sched.transfer_time(8192) == pytest.approx(
+            2 * sched.transfer_time(4096))
+
+    def test_reserve_idle_channel(self):
+        sched = scheduler()
+        start, finish = sched.reserve(0, 4096, 100.0)
+        assert start == 100.0
+        assert finish == pytest.approx(100.0 + sched.transfer_time(4096))
+
+    def test_same_channel_serialises(self):
+        sched = scheduler()
+        _, first_finish = sched.reserve(0, 4096, 0.0)
+        start, _ = sched.reserve(0, 4096, 0.0)
+        assert start == pytest.approx(first_finish)
+
+    def test_different_channels_overlap(self):
+        sched = scheduler()
+        sched.reserve(0, 4096, 0.0)
+        start, _ = sched.reserve(1, 4096, 0.0)
+        assert start == 0.0
+
+
+class TestLoadBalancing:
+    def test_least_loaded_prefers_idle(self):
+        sched = scheduler()
+        sched.reserve(0, 1 << 20, 0.0)
+        choices = sched.least_loaded(0.0, count=2)
+        assert 0 not in choices
+
+    def test_least_loaded_count_validation(self):
+        with pytest.raises(ValueError):
+            scheduler().least_loaded(0.0, count=0)
+
+    def test_next_free(self):
+        sched = scheduler()
+        _, finish = sched.reserve(2, 4096, 0.0)
+        assert sched.next_free(2, 0.0) == pytest.approx(finish)
+        assert sched.next_free(3, 50.0) == 50.0
+
+
+class TestValidation:
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ValueError):
+            scheduler().reserve(99, 4096, 0.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelScheduler(FlashGeometry(channels=1), 0.0)
+
+    def test_summary_and_reset(self):
+        sched = scheduler()
+        sched.reserve(0, 4096, 0.0)
+        summary = sched.utilisation_summary()
+        assert summary["bytes_moved"] == 4096
+        assert summary["transfers"] == 1
+        sched.reset()
+        assert sched.utilisation_summary()["bytes_moved"] == 0

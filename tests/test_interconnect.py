@@ -1,0 +1,128 @@
+"""Interconnect models: PCIe, SATA, DDR4 bus and the lock register."""
+
+import pytest
+
+from repro.config import DDRConfig, PCIeConfig, SATAConfig
+from repro.interconnect.ddr_bus import DDR4Bus, LockRegister
+from repro.interconnect.pcie import PCIeLink
+from repro.interconnect.sata import SATALink
+from repro.units import KB, MB
+
+
+class TestPCIeLink:
+    def test_bandwidth_is_lanes_times_lane_rate(self):
+        link = PCIeLink(PCIeConfig())
+        assert link.bandwidth_bytes_per_ns == pytest.approx(
+            4 * PCIeConfig().per_lane_bw_bytes_per_ns)
+
+    def test_transfer_time_scales_linearly(self):
+        link = PCIeLink(PCIeConfig())
+        small = link.raw_transfer_time(KB(4))
+        large = link.raw_transfer_time(KB(128))
+        assert large == pytest.approx(32 * small)
+
+    def test_packet_overhead_grows_with_packets(self):
+        link = PCIeLink(PCIeConfig())
+        assert link.per_transfer_overhead(KB(64)) > link.per_transfer_overhead(64)
+
+    def test_transfers_serialise(self):
+        link = PCIeLink(PCIeConfig())
+        first = link.transfer(KB(128), 0.0)
+        second = link.transfer(KB(4), 0.0)
+        assert second.start_ns >= first.finish_ns
+
+    def test_statistics_accumulate(self):
+        link = PCIeLink(PCIeConfig())
+        link.transfer(KB(4), 0.0)
+        link.transfer(KB(4), 1000.0)
+        stats = link.statistics()
+        assert stats["bytes_transferred"] == 2 * KB(4)
+        assert stats["transfers"] == 2
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeLink(PCIeConfig()).transfer(0, 0.0)
+
+    def test_reset(self):
+        link = PCIeLink(PCIeConfig())
+        link.transfer(KB(4), 0.0)
+        link.reset()
+        assert link.bytes_transferred == 0
+
+
+class TestSATALink:
+    def test_sata_slower_than_pcie(self):
+        sata = SATALink(SATAConfig())
+        pcie = PCIeLink(PCIeConfig())
+        assert sata.raw_transfer_time(MB(1)) > pcie.raw_transfer_time(MB(1))
+
+    def test_command_overhead_is_flat(self):
+        sata = SATALink(SATAConfig())
+        assert sata.per_transfer_overhead(64) == sata.per_transfer_overhead(MB(1))
+
+
+class TestLockRegister:
+    def test_uncontended_acquire(self):
+        lock = LockRegister(toggle_ns=5.0)
+        granted = lock.acquire(100.0)
+        assert granted == 105.0
+        assert lock.held
+
+    def test_release_then_acquire(self):
+        lock = LockRegister(toggle_ns=5.0)
+        lock.acquire(0.0)
+        lock.release(50.0)
+        assert not lock.held
+        granted = lock.acquire(100.0)
+        assert granted == 105.0
+        assert lock.contended_acquisitions == 0
+
+    def test_contended_acquire_waits_for_release(self):
+        lock = LockRegister(toggle_ns=5.0)
+        lock.acquire(0.0)
+        lock.release(200.0)
+        lock.acquire(0.0)  # arrives while the release is still in flight
+        # Second acquire happens after the first release lands.
+        assert lock.acquisitions == 2
+
+    def test_contention_is_counted(self):
+        lock = LockRegister(toggle_ns=5.0)
+        lock.acquire(0.0)
+        # Another acquire while held and never released yet.
+        lock.release(1000.0)
+        lock.acquire(500.0)
+        assert lock.contended_acquisitions == 1
+
+    def test_statistics(self):
+        lock = LockRegister(toggle_ns=5.0)
+        lock.acquire(0.0)
+        lock.release(100.0)
+        stats = lock.statistics()
+        assert stats["acquisitions"] == 1
+        assert stats["total_held_ns"] >= 90.0
+
+
+class TestDDR4Bus:
+    def test_faster_than_pcie(self):
+        bus = DDR4Bus(DDRConfig())
+        pcie = PCIeLink(PCIeConfig())
+        assert bus.raw_transfer_time(KB(128)) < pcie.raw_transfer_time(KB(128))
+
+    def test_register_command_is_64_bytes(self):
+        bus = DDR4Bus(DDRConfig())
+        record = bus.send_register_command(0.0)
+        assert record.size_bytes == 64
+        assert bus.register_commands_sent == 1
+
+    def test_dma_transfer_holds_lock(self):
+        bus = DDR4Bus(DDRConfig())
+        record = bus.dma_transfer(KB(128), 0.0)
+        assert bus.lock.acquisitions == 1
+        assert not bus.lock.held
+        assert record.finish_ns > record.start_ns
+
+    def test_dma_transfers_serialise_through_lock(self):
+        bus = DDR4Bus(DDRConfig())
+        first = bus.dma_transfer(KB(128), 0.0)
+        second = bus.dma_transfer(KB(128), 0.0)
+        assert second.start_ns >= first.finish_ns

@@ -1,0 +1,203 @@
+"""NVMe protocol substrate: commands, queue rings, PRP pool, controller."""
+
+import pytest
+
+from repro.config import FlashGeometry, NVMeConfig, PCIeConfig, SSDConfig
+from repro.flash.ssd import SSD
+from repro.interconnect.pcie import PCIeLink
+from repro.nvme.commands import (
+    NVMeCommand,
+    NVMeCompletion,
+    NVMeOpcode,
+    build_read,
+    build_write,
+)
+from repro.nvme.controller import NVMeController
+from repro.nvme.prp import PRPPool, PRPPoolExhausted
+from repro.nvme.queues import CompletionQueue, QueueFullError, QueuePair, SubmissionQueue
+from repro.units import KB, MB
+
+
+class TestCommands:
+    def test_build_read(self):
+        command = build_read(lba=16, length_bytes=KB(4), prp=0x1000)
+        assert command.opcode is NVMeOpcode.READ
+        assert not command.is_write
+        assert command.byte_offset == 16 * 512
+
+    def test_build_write_fua(self):
+        command = build_write(lba=0, length_bytes=KB(4), prp=0, fua=True)
+        assert command.is_write
+        assert command.fua
+
+    def test_journal_tag_lifecycle(self):
+        command = build_read(lba=0, length_bytes=KB(4), prp=0)
+        assert command.journal_tag == 0
+        command.mark_submitted(100.0)
+        assert command.journal_tag == 1
+        assert command.is_pending
+        command.mark_completed(200.0)
+        assert command.journal_tag == 0
+        assert not command.is_pending
+
+    def test_command_ids_are_unique(self):
+        first = build_read(lba=0, length_bytes=KB(4), prp=0)
+        second = build_read(lba=0, length_bytes=KB(4), prp=0)
+        assert first.command_id != second.command_id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NVMeCommand(opcode=NVMeOpcode.READ, lba=-1, length_bytes=1, prp=0)
+        with pytest.raises(ValueError):
+            NVMeCommand(opcode=NVMeOpcode.READ, lba=0, length_bytes=0, prp=0)
+        with pytest.raises(ValueError):
+            NVMeCommand(opcode=NVMeOpcode.READ, lba=0, length_bytes=1, prp=0,
+                        journal_tag=2)
+
+
+class TestQueues:
+    def test_submit_and_fetch_fifo(self):
+        sq = SubmissionQueue(depth=8)
+        first = build_read(lba=0, length_bytes=KB(4), prp=0)
+        second = build_read(lba=8, length_bytes=KB(4), prp=0)
+        sq.submit(first)
+        sq.submit(second)
+        assert sq.fetch() is first
+        assert sq.fetch() is second
+        assert sq.fetch() is None
+
+    def test_queue_full(self):
+        sq = SubmissionQueue(depth=3)
+        sq.submit(build_read(lba=0, length_bytes=KB(4), prp=0))
+        sq.submit(build_read(lba=0, length_bytes=KB(4), prp=0))
+        with pytest.raises(QueueFullError):
+            sq.submit(build_read(lba=0, length_bytes=KB(4), prp=0))
+
+    def test_doorbell_counter(self):
+        sq = SubmissionQueue(depth=8)
+        sq.ring_doorbell()
+        sq.ring_doorbell()
+        assert sq.doorbell_rings == 2
+
+    def test_completion_queue_interrupts(self):
+        cq = CompletionQueue(depth=8)
+        cq.post(NVMeCompletion(command_id=1))
+        assert cq.interrupts_raised == 1
+        completion = cq.reap()
+        assert completion is not None and completion.command_id == 1
+
+    def test_pointer_consistency_detects_inflight(self):
+        pair = QueuePair.create(depth=8)
+        assert pair.pointers_consistent
+        command = build_write(lba=0, length_bytes=KB(4), prp=0)
+        pair.sq.submit(command)
+        assert not pair.pointers_consistent
+
+    def test_in_flight_commands_follow_journal_tags(self):
+        pair = QueuePair.create(depth=8)
+        command = build_write(lba=0, length_bytes=KB(4), prp=0)
+        pair.sq.submit(command)
+        assert pair.in_flight_commands() == []
+        command.mark_submitted(0.0)
+        assert pair.in_flight_commands() == [command]
+        command.mark_completed(10.0)
+        assert pair.in_flight_commands() == []
+
+
+class TestPRPPool:
+    def test_clone_and_release(self):
+        pool = PRPPool(MB(1), KB(128))
+        entry = pool.clone(source_page=7, command_id=11)
+        assert entry.in_use
+        assert pool.in_use == 1
+        assert pool.entry_for(11) is entry
+        pool.release(11)
+        assert pool.in_use == 0
+        assert pool.entry_for(11) is None
+
+    def test_exhaustion(self):
+        pool = PRPPool(KB(256), KB(128))  # two entries
+        pool.clone(0, 1)
+        pool.clone(1, 2)
+        with pytest.raises(PRPPoolExhausted):
+            pool.clone(2, 3)
+
+    def test_release_unknown_command_is_noop(self):
+        pool = PRPPool(MB(1), KB(128))
+        pool.release(999)
+
+    def test_outstanding_entries(self):
+        pool = PRPPool(MB(1), KB(128))
+        pool.clone(0, 1)
+        pool.clone(1, 2)
+        pool.release(1)
+        outstanding = pool.outstanding_entries()
+        assert len(outstanding) == 1
+        assert outstanding[0].command_id == 2
+
+    def test_reset(self):
+        pool = PRPPool(MB(1), KB(128))
+        pool.clone(0, 1)
+        pool.reset()
+        assert pool.in_use == 0
+
+    def test_peak_tracking(self):
+        pool = PRPPool(MB(1), KB(128))
+        pool.clone(0, 1)
+        pool.clone(1, 2)
+        pool.release(1)
+        assert pool.peak_in_use == 2
+
+
+def _controller() -> NVMeController:
+    geometry = FlashGeometry(channels=4, packages_per_channel=1,
+                             dies_per_package=2, planes_per_die=1,
+                             blocks_per_plane=32, pages_per_block=32)
+    ssd = SSD(SSDConfig(name="ull-flash", geometry=geometry,
+                        dram_buffer_bytes=MB(1)))
+    ssd.precondition(0, 256)
+    return NVMeController(ssd, PCIeLink(PCIeConfig()), NVMeConfig())
+
+
+class TestController:
+    def test_read_latency_composition(self):
+        controller = _controller()
+        result = controller.execute(build_read(lba=0, length_bytes=KB(4), prp=0),
+                                    at_ns=0.0)
+        assert result.finish_ns == pytest.approx(
+            result.submit_ns + result.protocol_ns + result.transfer_ns
+            + result.device_ns)
+        assert result.protocol_ns > 0
+        assert result.transfer_ns > 0
+
+    def test_write_transfers_before_device(self):
+        controller = _controller()
+        result = controller.execute(
+            build_write(lba=0, length_bytes=KB(4), prp=0), at_ns=0.0)
+        assert result.command.is_write
+        assert result.transfer_ns > 0
+
+    def test_journal_tag_cleared_after_completion(self):
+        controller = _controller()
+        command = build_read(lba=0, length_bytes=KB(4), prp=0)
+        controller.execute(command, at_ns=0.0)
+        assert command.journal_tag == 0
+        assert command.completed_ns is not None
+
+    def test_drain_processes_all_commands(self):
+        controller = _controller()
+        pair = QueuePair.create(depth=16)
+        for index in range(4):
+            pair.sq.submit(build_read(lba=index * 8, length_bytes=KB(4), prp=0))
+        results = controller.drain(pair, at_ns=0.0)
+        assert len(results) == 4
+        assert pair.sq.outstanding == 0
+        assert pair.cq.outstanding == 4
+        assert controller.commands_executed == 4
+
+    def test_statistics(self):
+        controller = _controller()
+        controller.execute(build_read(lba=0, length_bytes=KB(4), prp=0), 0.0)
+        stats = controller.statistics()
+        assert stats["commands_executed"] == 1
+        assert stats["bytes_dma"] == KB(4)

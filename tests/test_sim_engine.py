@@ -1,0 +1,145 @@
+"""Discrete-event engine: clock monotonicity, ordering, cancellation."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimClock, Simulator
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now == 100.0
+
+    def test_cannot_move_backwards(self):
+        clock = SimClock(50.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(10.0)
+
+    def test_advance_by(self):
+        clock = SimClock(10.0)
+        assert clock.advance_by(5.0) == 15.0
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_by(-1.0)
+
+    def test_reset(self):
+        clock = SimClock(99.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventQueue:
+    def test_pop_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(20.0, lambda: None, "late")
+        queue.push(10.0, lambda: None, "early")
+        event = queue.pop()
+        assert event is not None and event.name == "early"
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None, "first")
+        queue.push(5.0, lambda: None, "second")
+        assert queue.pop().name == "first"
+        assert queue.pop().name == "second"
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, "cancelled")
+        queue.push(2.0, lambda: None, "kept")
+        event.cancel()
+        assert queue.pop().name == "kept"
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(7.0, lambda: None)
+        assert queue.peek_time() == 7.0
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule_at(30.0, lambda: order.append("c"))
+        simulator.schedule_at(10.0, lambda: order.append("a"))
+        simulator.schedule_at(20.0, lambda: order.append("b"))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+        assert simulator.now == 30.0
+
+    def test_schedule_after_uses_relative_delay(self):
+        simulator = Simulator()
+        simulator.clock.advance_to(100.0)
+        times = []
+        simulator.schedule_after(5.0, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [105.0]
+
+    def test_cannot_schedule_in_past(self):
+        simulator = Simulator()
+        simulator.clock.advance_to(10.0)
+        with pytest.raises(ValueError):
+            simulator.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule_at(10.0, lambda: fired.append(10))
+        simulator.schedule_at(100.0, lambda: fired.append(100))
+        simulator.run(until_ns=50.0)
+        assert fired == [10]
+        assert simulator.now == 50.0
+
+    def test_max_events_limit(self):
+        simulator = Simulator()
+        for offset in range(5):
+            simulator.schedule_at(float(offset), lambda: None)
+        simulator.run(max_events=3)
+        assert simulator.events_processed == 3
+
+    def test_events_can_schedule_more_events(self):
+        simulator = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            simulator.schedule_after(5.0, lambda: log.append("chained"))
+
+        simulator.schedule_at(1.0, first)
+        simulator.run()
+        assert log == ["first", "chained"]
+        assert simulator.now == 6.0
+
+    def test_reset(self):
+        simulator = Simulator()
+        simulator.schedule_at(5.0, lambda: None)
+        simulator.run()
+        simulator.reset()
+        assert simulator.now == 0.0
+        assert simulator.events_processed == 0
+        assert len(simulator.queue) == 0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False

@@ -1,0 +1,142 @@
+"""Statistics: counters, streaming latency aggregates, histograms."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Counter, Histogram, LatencyStat, StatRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0.0
+
+    def test_add(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.add(5)
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestLatencyStat:
+    def test_mean_and_count(self):
+        stat = LatencyStat("lat")
+        for sample in [10.0, 20.0, 30.0]:
+            stat.record(sample)
+        assert stat.count == 3
+        assert stat.mean == pytest.approx(20.0)
+        assert stat.min == 10.0
+        assert stat.max == 30.0
+        assert stat.total == 60.0
+
+    def test_stddev(self):
+        stat = LatencyStat("lat")
+        for sample in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            stat.record(sample)
+        assert stat.stddev == pytest.approx(2.138, abs=1e-2)
+
+    def test_empty_stat_is_safe(self):
+        stat = LatencyStat("lat")
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            LatencyStat("lat").record(-1.0)
+
+    def test_merge_matches_single_stream(self):
+        combined = LatencyStat("all")
+        part_a = LatencyStat("a")
+        part_b = LatencyStat("b")
+        samples_a = [1.0, 5.0, 9.0]
+        samples_b = [2.0, 4.0, 100.0, 3.0]
+        for sample in samples_a:
+            part_a.record(sample)
+            combined.record(sample)
+        for sample in samples_b:
+            part_b.record(sample)
+            combined.record(sample)
+        part_a.merge(part_b)
+        assert part_a.count == combined.count
+        assert part_a.mean == pytest.approx(combined.mean)
+        assert part_a.variance == pytest.approx(combined.variance)
+        assert part_a.max == combined.max
+
+    def test_merge_into_empty(self):
+        empty = LatencyStat("empty")
+        other = LatencyStat("other")
+        other.record(5.0)
+        empty.merge(other)
+        assert empty.count == 1
+        assert empty.mean == 5.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_mean_matches_reference(self, samples):
+        stat = LatencyStat("prop")
+        for sample in samples:
+            stat.record(sample)
+        assert stat.mean == pytest.approx(sum(samples) / len(samples),
+                                          rel=1e-9, abs=1e-6)
+        assert stat.min == min(samples)
+        assert stat.max == max(samples)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram("h", [10, 100, 1000])
+        for sample in [5, 50, 500, 5000]:
+            histogram.record(sample)
+        assert histogram.counts == [1, 1, 1, 1]
+
+    def test_fraction_at_or_below(self):
+        histogram = Histogram("h", [10, 100])
+        for sample in [1, 2, 3, 50, 500]:
+            histogram.record(sample)
+        assert histogram.fraction_at_or_below(10) == pytest.approx(0.6)
+        assert histogram.fraction_at_or_below(100) == pytest.approx(0.8)
+
+    def test_as_dict_labels(self):
+        histogram = Histogram("h", [10])
+        histogram.record(5)
+        histogram.record(100)
+        assert histogram.as_dict() == {"<=10": 1, "overflow": 1}
+
+    def test_requires_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+
+class TestStatRegistry:
+    def test_counter_is_memoised(self):
+        registry = StatRegistry(prefix="ssd")
+        registry.counter("reads").add(3)
+        registry.counter("reads").add(2)
+        assert registry.counter("reads").value == 5
+
+    def test_snapshot_includes_prefix(self):
+        registry = StatRegistry(prefix="dev")
+        registry.counter("ops").add(1)
+        registry.latency("lat").record(10.0)
+        snapshot = registry.snapshot()
+        assert snapshot["dev.ops"] == 1
+        assert snapshot["dev.lat.mean_ns"] == 10.0
+
+    def test_reset_clears_everything(self):
+        registry = StatRegistry()
+        registry.counter("ops").add(1)
+        registry.latency("lat").record(5.0)
+        registry.reset()
+        assert registry.counter("ops").value == 0
+        assert registry.latency("lat").count == 0
