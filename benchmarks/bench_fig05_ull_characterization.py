@@ -20,7 +20,7 @@ from repro.flash.ssd import SSD, make_ssd
 from repro.memory.dram import DRAMDevice
 from repro.units import GB, KB, MB, to_us, bandwidth_gbps
 
-from conftest import emit, run_once
+from conftest import emit, record_figure, run_once
 
 QUEUE_DEPTHS = [1, 2, 4, 8, 16, 32]
 DEVICE_CAPACITY = MB(512)
@@ -102,6 +102,9 @@ def test_fig05_ull_flash_characterization(benchmark):
     emit()
     emit(format_series(bandwidth_series,
                         title="Figure 5c: bandwidth (GB/s) vs queue depth"))
+    record_figure("fig05", {"fig05a_latency_us": fig5a,
+                            "fig05b_latency_us_vs_depth": latency_series,
+                            "fig05c_bandwidth_gbps_vs_depth": bandwidth_series})
 
     # Shape checks mirroring the paper's observations.
     assert fig5a["ULL-Flash"]["read_us"] < 15.0

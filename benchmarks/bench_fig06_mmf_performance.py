@@ -13,12 +13,15 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.analysis.reporting import format_table
-from repro.platforms.mmap_platform import MmapPlatform
 from repro.units import to_MB
 
-from conftest import emit, SMALL_SCALE, run_once
+from conftest import emit, record_figure, run_once
 
-SSD_KINDS = ["sata-ssd", "nvme-ssd", "ull-flash"]
+#: SSD kind -> mmap platform registry name (the runner builds platforms by
+#: registry name in its workers).
+SSD_PLATFORMS = {"sata-ssd": "mmap-sata", "nvme-ssd": "mmap-nvme",
+                 "ull-flash": "mmap-ull"}
+SSD_KINDS = list(SSD_PLATFORMS)
 MICRO_WORKLOADS = ["seqRd", "rndRd", "seqWr", "rndWr"]
 SQLITE_WORKLOADS = ["seqSel", "rndSel", "seqIns", "rndIns", "update"]
 
@@ -31,21 +34,18 @@ def _bandwidth_mb_per_s(result) -> float:
 
 def test_fig06_mmf_system_performance(benchmark, small_runner):
     def experiment():
+        matrix = small_runner.run_matrix(
+            SSD_PLATFORMS.values(), MICRO_WORKLOADS + SQLITE_WORKLOADS)
         bandwidth: Dict[str, Dict[str, float]] = {}
         latency: Dict[str, Dict[str, float]] = {}
         for workload in MICRO_WORKLOADS:
-            trace = small_runner.trace(workload)
-            bandwidth[workload] = {}
-            for kind in SSD_KINDS:
-                platform = MmapPlatform(small_runner.config, ssd_kind=kind)
-                result = platform.run(trace)
-                bandwidth[workload][kind] = _bandwidth_mb_per_s(result)
+            bandwidth[workload] = {
+                kind: _bandwidth_mb_per_s(matrix.get(platform, workload))
+                for kind, platform in SSD_PLATFORMS.items()}
         for workload in SQLITE_WORKLOADS:
-            trace = small_runner.trace(workload)
             latency[workload] = {}
-            for kind in SSD_KINDS:
-                platform = MmapPlatform(small_runner.config, ssd_kind=kind)
-                result = platform.run(trace)
+            for kind, platform in SSD_PLATFORMS.items():
+                result = matrix.get(platform, workload)
                 latency[workload][kind] = (result.total_ns / 1e3
                                            / max(result.operations, 1.0))
         return bandwidth, latency
@@ -58,6 +58,8 @@ def test_fig06_mmf_system_performance(benchmark, small_runner):
     emit()
     emit(format_table(latency, title="Figure 6b: SQLite latency (us/op)",
                        float_format="{:.1f}", row_header="workload"))
+    record_figure("fig06", {"fig06a_bandwidth_mb_per_s": bandwidth,
+                            "fig06b_latency_us_per_op": latency})
 
     # ULL-Flash is the fastest backing device for the MMF system everywhere.
     for workload in MICRO_WORKLOADS:

@@ -17,24 +17,24 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.analysis.reporting import format_table
-from repro.platforms.bypass import BypassPlatform
-from repro.platforms.mmap_platform import MmapPlatform
-from repro.platforms.oracle import OraclePlatform
 
-from conftest import emit, SMALL_SCALE, run_once
+from conftest import emit, record_figure, run_once
 
 WORKLOADS = ["rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns",
              "update", "rndSel", "seqSel"]
 BYPASS_WORKLOADS = ["rndRd", "rndWr", "rndSel", "update"]
+#: Strategy label -> bypass platform registry name.
+BYPASS_PLATFORMS = {"nvdimm": "bypass-nvdimm", "ull": "bypass-ull",
+                    "ull-buff": "bypass-ull-buff"}
 
 
 def test_fig07a_mmf_execution_breakdown(benchmark, small_runner):
     def experiment():
+        matrix = small_runner.run_matrix(["mmap", "oracle"], WORKLOADS)
         table: Dict[str, Dict[str, float]] = {}
         for workload in WORKLOADS:
-            trace = small_runner.trace(workload)
-            mmap_result = MmapPlatform(small_runner.config).run(trace)
-            oracle_result = OraclePlatform(small_runner.config).run(trace)
+            mmap_result = matrix.get("mmap", workload)
+            oracle_result = matrix.get("oracle", workload)
             stack = mmap_result.extras
             total = mmap_result.total_ns
             mmap_share = stack.get("os_total_mmap_ns", 0.0) / total
@@ -58,6 +58,7 @@ def test_fig07a_mmf_execution_breakdown(benchmark, small_runner):
     emit(format_table(table, title="Figure 7a: MMF execution breakdown "
                                     "(fractions) and slowdown vs NVDIMM",
                        row_header="workload"))
+    record_figure("fig07a", {"mmf_breakdown": table})
 
     software = [row["mmap"] + row["io_stack"] for row in table.values()]
     ssd = [row["ssd"] for row in table.values()]
@@ -73,19 +74,17 @@ def test_fig07a_mmf_execution_breakdown(benchmark, small_runner):
 
 def test_fig07b_bypass_ipc(benchmark, small_runner):
     def experiment():
-        table: Dict[str, Dict[str, float]] = {}
-        for workload in BYPASS_WORKLOADS:
-            trace = small_runner.trace(workload)
-            table[workload] = {}
-            for strategy in ("nvdimm", "ull", "ull-buff"):
-                platform = BypassPlatform(small_runner.config, strategy=strategy)
-                table[workload][strategy] = platform.run(trace).ipc
-        return table
+        matrix = small_runner.run_matrix(BYPASS_PLATFORMS.values(),
+                                         BYPASS_WORKLOADS)
+        return {workload: {strategy: matrix.get(platform, workload).ipc
+                           for strategy, platform in BYPASS_PLATFORMS.items()}
+                for workload in BYPASS_WORKLOADS}
 
     table = run_once(benchmark, experiment)
     emit()
     emit(format_table(table, title="Figure 7b: IPC of bypass strategies",
                        float_format="{:.4f}", row_header="workload"))
+    record_figure("fig07b", {"bypass_ipc": table})
 
     for workload, row in table.items():
         assert row["nvdimm"] > row["ull-buff"] > row["ull"]

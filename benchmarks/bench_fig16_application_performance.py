@@ -18,7 +18,7 @@ from repro.workloads.registry import (
     SQLITE_WORKLOADS,
 )
 
-from conftest import emit, run_once
+from conftest import emit, record_figure, run_once
 
 PAGE_WORKLOADS = list(MICROBENCH_WORKLOADS) + list(RODINIA_WORKLOADS)
 ALL_WORKLOADS = PAGE_WORKLOADS + list(SQLITE_WORKLOADS)
@@ -26,6 +26,7 @@ ALL_WORKLOADS = PAGE_WORKLOADS + list(SQLITE_WORKLOADS)
 
 def test_fig16_application_performance(benchmark, bench_runner):
     def experiment():
+        # The full 11x12 matrix fans out over the runner's worker pool.
         return bench_runner.run_matrix(PLATFORM_NAMES, ALL_WORKLOADS)
 
     experiment_result = run_once(benchmark, experiment)
@@ -63,6 +64,10 @@ def test_fig16_application_performance(benchmark, bench_runner):
     emit()
     emit(format_table(headline, title="Headline: average speedup over mmap",
                        row_header="platform"))
+    record_figure("fig16", {"fig16a_kpages_per_s": figure_16a,
+                            "fig16b_ops_per_s": figure_16b,
+                            "headline_speedup_vs_mmap": headline},
+                  meta={"workers": bench_runner.workers})
 
     # --- the paper's qualitative results -------------------------------------
     hams_le = experiment_result.mean_speedup("hams-LE", "mmap")

@@ -15,7 +15,7 @@ from typing import Dict
 from repro.analysis.breakdown import average_breakdown, execution_breakdown_table
 from repro.analysis.reporting import format_table
 
-from conftest import emit, run_once
+from conftest import emit, record_figure, run_once
 
 PLATFORMS = ["mmap", "hams-LP", "hams-LE", "hams-TP", "hams-TE"]
 WORKLOADS = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN",
@@ -24,9 +24,12 @@ WORKLOADS = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN",
 
 def test_fig17_execution_time_breakdown(benchmark, bench_runner):
     def experiment():
+        # One parallel fan-out over the whole matrix, then per-workload
+        # breakdown tables from the merged experiment result.
+        matrix = bench_runner.run_matrix(PLATFORMS, WORKLOADS)
         per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
         for workload in WORKLOADS:
-            results = {platform: bench_runner.run_one(platform, workload)
+            results = {platform: matrix.get(platform, workload)
                        for platform in PLATFORMS}
             per_workload[workload] = execution_breakdown_table(results,
                                                                baseline="mmap")
@@ -44,6 +47,9 @@ def test_fig17_execution_time_breakdown(benchmark, bench_runner):
     emit()
     emit(format_table(averaged, title="Figure 17 (average over workloads)",
                        row_header="platform"))
+    record_figure("fig17", {"normalised_breakdown_average": averaged,
+                            **{f"breakdown_{workload}": table
+                               for workload, table in per_workload.items()}})
 
     # mmap pays a substantial OS share; HAMS pays none and finishes sooner.
     assert averaged["mmap"]["os"] > 0.15

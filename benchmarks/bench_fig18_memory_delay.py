@@ -16,7 +16,7 @@ from typing import Dict
 from repro.analysis.breakdown import average_breakdown, memory_delay_table
 from repro.analysis.reporting import format_table
 
-from conftest import emit, run_once
+from conftest import emit, record_figure, run_once
 
 PLATFORMS = ["hams-LP", "hams-LE", "hams-TP", "hams-TE"]
 WORKLOADS = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN",
@@ -25,10 +25,13 @@ WORKLOADS = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN",
 
 def test_fig18_memory_delay_breakdown(benchmark, bench_runner):
     def experiment():
+        # Parallel fan-out over the whole matrix; tables come from the
+        # merged experiment result.
+        matrix = bench_runner.run_matrix(PLATFORMS, WORKLOADS)
         per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
         hit_rates: Dict[str, float] = {}
         for workload in WORKLOADS:
-            results = {platform: bench_runner.run_one(platform, workload)
+            results = {platform: matrix.get(platform, workload)
                        for platform in PLATFORMS}
             per_workload[workload] = memory_delay_table(results,
                                                         baseline="hams-LP")
@@ -50,6 +53,8 @@ def test_fig18_memory_delay_breakdown(benchmark, bench_runner):
                        row_header="platform"))
     average_hit = sum(hit_rates.values()) / len(hit_rates)
     emit(f"\naverage NVDIMM (MoS) cache hit rate: {average_hit:.3f}")
+    record_figure("fig18", {"memory_delay_average": averaged,
+                            "hams_te_mos_hit_rate": {"hams-TE": hit_rates}})
 
     # Persist mode has more memory delay than extend mode (paper: ~+34%).
     assert averaged["hams-LP"]["total"] > averaged["hams-LE"]["total"]

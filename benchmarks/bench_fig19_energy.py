@@ -15,7 +15,7 @@ from typing import Dict
 from repro.analysis.breakdown import average_breakdown, normalised_energy_table
 from repro.analysis.reporting import format_table
 
-from conftest import emit, run_once
+from conftest import emit, record_figure, run_once
 
 PLATFORMS = ["mmap", "hams-LP", "hams-LE", "hams-TP", "hams-TE"]
 WORKLOADS = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN",
@@ -24,9 +24,12 @@ WORKLOADS = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN",
 
 def test_fig19_energy_breakdown(benchmark, bench_runner):
     def experiment():
+        # Parallel fan-out over the whole matrix; tables come from the
+        # merged experiment result.
+        matrix = bench_runner.run_matrix(PLATFORMS, WORKLOADS)
         per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
         for workload in WORKLOADS:
-            results = {platform: bench_runner.run_one(platform, workload)
+            results = {platform: matrix.get(platform, workload)
                        for platform in PLATFORMS}
             per_workload[workload] = normalised_energy_table(results,
                                                              baseline="mmap")
@@ -44,6 +47,7 @@ def test_fig19_energy_breakdown(benchmark, bench_runner):
     emit()
     emit(format_table(averaged, title="Figure 19 (average over workloads)",
                        row_header="platform"))
+    record_figure("fig19", {"normalised_energy_average": averaged})
 
     # Every extend-mode HAMS variant saves energy over mmap; the advanced
     # design saves at least as much as the baseline design.

@@ -11,17 +11,13 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict
 
 from repro.analysis.reporting import format_table
-from repro.platforms.hams_platform import HAMSPlatform
-from repro.platforms.mmap_platform import MmapPlatform
-from repro.platforms.oracle import OraclePlatform
+from repro.runner import RunSpec
 from repro.units import GB, KB
-from repro.workloads.registry import build_trace
 
-from conftest import emit, BENCH_SCALE, run_once
+from conftest import emit, BENCH_SCALE, record_figure, run_once
 
 PAGE_SIZES = [KB(4), KB(16), KB(64), KB(128), KB(256), KB(1024)]
 SQLITE_WORKLOADS = ["seqSel", "rndSel", "seqIns", "rndIns", "update"]
@@ -30,17 +26,20 @@ STRESS_WORKLOADS = ["seqSel", "rndSel", "update"]
 
 def test_fig20a_page_size_sweep(benchmark, bench_runner):
     def experiment():
-        table: Dict[str, Dict[str, float]] = {}
-        for workload in SQLITE_WORKLOADS:
-            trace = bench_runner.trace(workload)
-            table[workload] = {}
-            for page_size in PAGE_SIZES:
-                config = bench_runner.config.with_hams(mos_page_bytes=page_size)
-                platform = HAMSPlatform(config, variant="hams-TE")
-                result = platform.run(trace)
-                table[workload][f"{page_size // 1024}KB"] = \
-                    result.operations_per_second
-        return table
+        # One spec per (workload, page size): the config override travels to
+        # the worker, which rebuilds hams-TE with the swept MoS page size.
+        sweep = bench_runner.collect([
+            RunSpec("hams-TE", workload,
+                    config_overrides={"hams": {"mos_page_bytes": page_size}},
+                    label=f"{page_size // 1024}KB")
+            for workload in SQLITE_WORKLOADS
+            for page_size in PAGE_SIZES
+        ])
+        return {workload: {f"{page_size // 1024}KB":
+                           sweep.get(f"{page_size // 1024}KB", workload)
+                           .operations_per_second
+                           for page_size in PAGE_SIZES}
+                for workload in SQLITE_WORKLOADS}
 
     table = run_once(benchmark, experiment)
     emit()
@@ -48,6 +47,7 @@ def test_fig20a_page_size_sweep(benchmark, bench_runner):
                                     "vs MoS page size (hams-TE)",
                        float_format="{:.0f}", row_header="workload"))
 
+    record_figure("fig20a", {"page_size_sweep_ops_per_s": table})
     for workload, row in table.items():
         best = max(row, key=row.get)
         emit(f"  best page size for {workload}: {best}")
@@ -59,29 +59,28 @@ def test_fig20a_page_size_sweep(benchmark, bench_runner):
 def test_fig20b_large_memory_footprint(benchmark, bench_runner):
     def experiment():
         # 44 GB at paper scale, shrunk by the same capacity factor as the rest
-        # of the system.
+        # of the system; the oracle DIMM is sized up through the registry's
+        # platform kwargs so it still holds the stressed dataset.
         stressed_bytes = BENCH_SCALE.scaled_bytes(GB(44))
-        table: Dict[str, Dict[str, float]] = {}
-        for workload in STRESS_WORKLOADS:
-            trace = build_trace(workload, BENCH_SCALE,
-                                dataset_bytes_override=stressed_bytes)
-            results = {
-                "mmap": MmapPlatform(bench_runner.config).run(trace),
-                "hams-TE": HAMSPlatform(bench_runner.config,
-                                        variant="hams-TE").run(trace),
-                "oracle": OraclePlatform(bench_runner.config,
-                                         capacity_bytes=stressed_bytes * 2
-                                         ).run(trace),
-            }
-            table[workload] = {name: result.operations_per_second
-                               for name, result in results.items()}
-        return table
+        stress = bench_runner.collect([
+            RunSpec(platform, workload,
+                    dataset_bytes_override=stressed_bytes,
+                    platform_kwargs=({"capacity_bytes": stressed_bytes * 2}
+                                     if platform == "oracle" else {}))
+            for workload in STRESS_WORKLOADS
+            for platform in ("mmap", "hams-TE", "oracle")
+        ])
+        return {workload: {platform: stress.get(platform, workload)
+                           .operations_per_second
+                           for platform in ("mmap", "hams-TE", "oracle")}
+                for workload in STRESS_WORKLOADS}
 
     table = run_once(benchmark, experiment)
     emit()
     emit(format_table(table, title="Figure 20b: 44 GB-footprint stress test "
                                     "(ops/s)", float_format="{:.0f}",
                        row_header="workload"))
+    record_figure("fig20b", {"stress_test_ops_per_s": table})
 
     for workload, row in table.items():
         # hams-TE trails the oracle but clearly beats mmap (paper: -24% vs

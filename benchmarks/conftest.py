@@ -6,6 +6,14 @@ experiment exactly once (``benchmark.pedantic(..., rounds=1)``) and prints
 the same rows/series the figure plots; the pytest-benchmark timing then
 reports how long regenerating that figure takes.
 
+The harness runs on the :class:`~repro.runner.ParallelExperimentRunner`:
+each figure's (platform x workload) matrix fans out over a process pool
+(``$REPRO_WORKERS`` workers, defaulting to the CPU count), and every figure
+additionally records its plotted tables as a machine-readable
+``results/BENCH_<figure>.json`` artifact that CI uploads.  The run cache is
+deliberately disabled here so the benchmark timings measure real work; the
+``python -m repro run`` CLI is the cache-aware path.
+
 The experiment scale used here is deliberately smaller than the library
 default so the full harness finishes in minutes; the relative platform
 ordering — the part of the figures we reproduce — is insensitive to it.
@@ -13,24 +21,55 @@ ordering — the part of the figures we reproduce — is insensitive to it.
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
 
 import pytest
 
-from repro.analysis.experiments import ExperimentRunner
+from repro.runner import ParallelExperimentRunner, resolve_worker_count
 from repro.workloads.registry import ExperimentScale
 
 #: All figure tables are appended here as well as printed, so the numbers
 #: survive pytest's stdout capture of passing tests.
-RESULTS_FILE = Path(__file__).parent / "results" / "figures.txt"
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_FILE = RESULTS_DIR / "figures.txt"
+
+#: Schema tag of the per-figure JSON records written by :func:`record_figure`.
+FIGURE_SCHEMA = "repro.bench-figure/1"
 
 
 def emit(text: str = "") -> None:
     """Print *text* and append it to ``benchmarks/results/figures.txt``."""
     print(text)
-    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     with RESULTS_FILE.open("a", encoding="utf-8") as handle:
         handle.write(str(text) + "\n")
+
+
+def record_figure(figure: str, tables: Mapping[str, Any],
+                  meta: Optional[Mapping[str, Any]] = None) -> Path:
+    """Write the figure's plotted tables as ``results/BENCH_<figure>.json``.
+
+    *tables* maps a table name to the nested ``{row: {column: value}}``
+    mapping the benchmark printed, so CI (and regression tooling) can diff
+    the numbers without scraping stdout.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{figure}.json"
+    payload: Dict[str, Any] = {
+        "schema": FIGURE_SCHEMA,
+        "figure": figure,
+        "created_unix": time.time(),
+        "tables": dict(tables),
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    path.write_text(json.dumps(payload, sort_keys=True, indent=1),
+                    encoding="utf-8")
+    return path
+
 
 #: Scale used by the application-level benchmarks (Figures 16-20).
 BENCH_SCALE = ExperimentScale(capacity_scale=1 / 64, min_accesses=1_500,
@@ -43,15 +82,17 @@ SMALL_SCALE = ExperimentScale(capacity_scale=1 / 128, min_accesses=1_000,
 
 
 @pytest.fixture(scope="session")
-def bench_runner() -> ExperimentRunner:
+def bench_runner() -> ParallelExperimentRunner:
     """Runner shared by the application-level figure benchmarks."""
-    return ExperimentRunner(BENCH_SCALE)
+    return ParallelExperimentRunner(BENCH_SCALE,
+                                    workers=resolve_worker_count())
 
 
 @pytest.fixture(scope="session")
-def small_runner() -> ExperimentRunner:
+def small_runner() -> ParallelExperimentRunner:
     """Runner shared by the motivation-figure benchmarks."""
-    return ExperimentRunner(SMALL_SCALE)
+    return ParallelExperimentRunner(SMALL_SCALE,
+                                    workers=resolve_worker_count())
 
 
 def run_once(benchmark, function):

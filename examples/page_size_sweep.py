@@ -15,9 +15,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExperimentRunner, ExperimentScale
+from repro import ExperimentScale, ParallelExperimentRunner, RunSpec
 from repro.analysis.reporting import format_table
-from repro.platforms.hams_platform import HAMSPlatform
 from repro.units import KB
 
 PAGE_SIZES = [KB(4), KB(16), KB(64), KB(128), KB(256), KB(1024)]
@@ -25,18 +24,24 @@ WORKLOADS = ["seqSel", "rndSel"]
 
 
 def main() -> None:
-    runner = ExperimentRunner(ExperimentScale(capacity_scale=1 / 64,
-                                              max_accesses=3_000))
+    runner = ParallelExperimentRunner(ExperimentScale(capacity_scale=1 / 64,
+                                                      max_accesses=3_000))
+    # One labelled spec per swept page size; the twelve runs fan out over
+    # the worker pool and come back keyed by their "4KB".."1024KB" labels.
+    sweep = runner.collect([
+        RunSpec("hams-TE", workload,
+                config_overrides={"hams": {"mos_page_bytes": page_size}},
+                label=f"{page_size // 1024}KB")
+        for workload in WORKLOADS
+        for page_size in PAGE_SIZES
+    ])
     table = {}
     details = {}
     for workload in WORKLOADS:
-        trace = runner.trace(workload)
         table[workload] = {}
         for page_size in PAGE_SIZES:
-            config = runner.config.with_hams(mos_page_bytes=page_size)
-            platform = HAMSPlatform(config, variant="hams-TE")
-            result = platform.run(trace)
             label = f"{page_size // 1024}KB"
+            result = sweep.get(label, workload)
             table[workload][label] = result.operations_per_second
             details[(workload, label)] = result.extras["nvdimm_cache_hit_rate"]
 

@@ -19,17 +19,17 @@ Run with::
 
 from __future__ import annotations
 
-from repro import default_config
+from repro import ExperimentScale, ParallelExperimentRunner
 from repro.core.hams_controller import HAMSController
 from repro.nvme.commands import build_write
 from repro.units import KB, to_ms
-from repro.workloads.registry import ExperimentScale, scale_system_config
 
 
 def main() -> None:
-    config = scale_system_config(default_config(),
-                                 ExperimentScale(capacity_scale=1 / 256))
-    config = config.with_hams(integration="tight", mode="extend")
+    # The runner owns the scaled Table II configuration; this example drives
+    # the controller below the platform layer, so it only borrows the config.
+    runner = ParallelExperimentRunner(ExperimentScale(capacity_scale=1 / 256))
+    config = runner.config.with_hams(integration="tight", mode="extend")
     hams = HAMSController(config)
     hams.ssd.precondition(0, 4096)
 

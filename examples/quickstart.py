@@ -9,6 +9,9 @@ This is the smallest end-to-end use of the library's public API:
 3. replay a Table III workload trace,
 4. compare throughput, execution-time breakdown and energy.
 
+The runner is the parallel one: on a multi-core machine the four platform
+replays fan out over a process pool (see also ``python -m repro run``).
+
 Run with::
 
     python examples/quickstart.py
@@ -16,12 +19,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExperimentRunner, ExperimentScale
+from repro import ExperimentScale, ParallelExperimentRunner
 
 
 def main() -> None:
     scale = ExperimentScale(capacity_scale=1 / 64, max_accesses=4_000)
-    runner = ExperimentRunner(scale)
+    runner = ParallelExperimentRunner(scale)
     workload = "seqRd"
 
     print(f"Replaying workload {workload!r} "
@@ -32,9 +35,11 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    experiment = runner.run_matrix(("mmap", "hams-LE", "hams-TE", "oracle"),
+                                   (workload,))
     results = {}
     for platform in ("mmap", "hams-LE", "hams-TE", "oracle"):
-        result = runner.run_one(platform, workload)
+        result = experiment.get(platform, workload)
         results[platform] = result
         fractions = result.breakdown_fractions()
         print(f"{platform:12s} {result.operations_per_second:12.0f} "

@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExperimentRunner, ExperimentScale
+from repro import ExperimentScale, ParallelExperimentRunner
 from repro.analysis.reporting import format_table
 from repro.workloads.registry import SQLITE_WORKLOADS
 
@@ -23,8 +23,10 @@ PLATFORMS = ["mmap", "flatflash-M", "optane-M", "hams-LE", "hams-TE", "oracle"]
 
 
 def main() -> None:
-    runner = ExperimentRunner(ExperimentScale(capacity_scale=1 / 64,
-                                              max_accesses=3_000))
+    # The 6x5 matrix fans out over a process pool; this is the same preset
+    # the CLI exposes as `python -m repro run sqlite`.
+    runner = ParallelExperimentRunner(ExperimentScale(capacity_scale=1 / 64,
+                                                      max_accesses=3_000))
     experiment = runner.run_matrix(PLATFORMS, SQLITE_WORKLOADS)
 
     throughput = {

@@ -1,10 +1,15 @@
 """Setuptools shim.
 
 The offline evaluation environment ships setuptools without the ``wheel``
-package, so PEP 660 editable installs (which build a wheel) fail.  Keeping a
-``setup.py`` lets ``pip install -e .`` fall back to the legacy
-``setup.py develop`` path, which works without network access.  All project
-metadata lives in ``pyproject.toml``.
+package, so PEP 660 editable installs (which build a wheel) fail — and
+modern pip refuses ``--no-use-pep517`` without wheel too.  Keeping a
+``setup.py`` preserves the one editable path that works fully offline::
+
+    python setup.py develop
+
+Online, plain ``pip install -e .`` works (pip's isolated build fetches
+setuptools + wheel).  All project metadata lives in ``pyproject.toml``;
+setuptools >= 61 reads it on both paths.
 """
 
 from setuptools import setup

@@ -36,6 +36,7 @@ from .analysis.experiments import ExperimentResult, ExperimentRunner
 from .core.hams_controller import HAMSAccessResult, HAMSController
 from .platforms.base import Platform, RunResult
 from .platforms.registry import PLATFORM_NAMES, create_platform
+from .runner import ParallelExperimentRunner, RunSpec
 from .workloads.registry import (
     ExperimentScale,
     all_workload_names,
@@ -66,6 +67,8 @@ __all__ = [
     "RunResult",
     "PLATFORM_NAMES",
     "create_platform",
+    "ParallelExperimentRunner",
+    "RunSpec",
     "ExperimentScale",
     "all_workload_names",
     "build_trace",

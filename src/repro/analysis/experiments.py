@@ -33,6 +33,29 @@ class ExperimentResult:
     def get(self, platform: str, workload: str) -> RunResult:
         return self.results[(platform, workload)]
 
+    def add(self, platform: str, workload: str, result: RunResult) -> None:
+        """Record one run under the given (platform, workload) key.
+
+        The key may differ from ``result.platform`` when a run spec labels a
+        parameter sweep (e.g. one key per MoS page size).
+        """
+        self.results[(platform, workload)] = result
+
+    def merge(self, other: "ExperimentResult") -> "ExperimentResult":
+        """Fold the runs of *other* into this experiment (parallel merge).
+
+        Shards produced by independent workers or partial re-runs combine
+        into one result; both sides must have been produced under the same
+        :class:`~repro.workloads.registry.ExperimentScale`, otherwise the
+        merged metrics would not be comparable.
+        """
+        if other.scale != self.scale:
+            raise ValueError(
+                f"cannot merge experiments run at different scales: "
+                f"{self.scale} vs {other.scale}")
+        self.results.update(other.results)
+        return self
+
     def platforms(self) -> List[str]:
         return sorted({platform for platform, _ in self.results})
 
@@ -52,9 +75,16 @@ class ExperimentResult:
                 if name == platform}
 
     def speedup_over(self, platform: str, baseline: str) -> Dict[str, float]:
-        """Per-workload throughput ratio of *platform* over *baseline*."""
+        """Per-workload throughput ratio of *platform* over *baseline*.
+
+        Workloads missing on either side are skipped, so merged shards and
+        labelled sweeps (which need not be rectangular) stay comparable.
+        """
         out: Dict[str, float] = {}
         for workload in self.workloads():
+            if ((platform, workload) not in self.results
+                    or (baseline, workload) not in self.results):
+                continue
             base = self.get(baseline, workload).operations_per_second
             if base <= 0:
                 continue
@@ -73,6 +103,9 @@ class ExperimentResult:
         """Average total-energy ratio of *platform* over *baseline* (Figure 19)."""
         ratios: List[float] = []
         for workload in self.workloads():
+            if ((platform, workload) not in self.results
+                    or (baseline, workload) not in self.results):
+                continue
             base = self.get(baseline, workload).energy.total_nj
             if base <= 0:
                 continue

@@ -29,24 +29,27 @@ PLATFORM_NAMES: List[str] = [
     "oracle",
 ]
 
-_FACTORIES: Dict[str, Callable[[SystemConfig], Platform]] = {
-    "mmap": lambda config: MmapPlatform(config, ssd_kind="ull-flash"),
-    "mmap-ull": lambda config: MmapPlatform(config, ssd_kind="ull-flash"),
-    "mmap-nvme": lambda config: MmapPlatform(config, ssd_kind="nvme-ssd"),
-    "mmap-sata": lambda config: MmapPlatform(config, ssd_kind="sata-ssd"),
-    "flatflash-P": lambda config: FlatFlashPlatform(config, mode="persist"),
-    "flatflash-M": lambda config: FlatFlashPlatform(config, mode="memory"),
-    "optane-P": lambda config: OptanePlatform(config, mode="persist"),
-    "optane-M": lambda config: OptanePlatform(config, mode="memory"),
-    "nvdimm-C": lambda config: NvdimmCPlatform(config),
-    "hams-LP": lambda config: HAMSPlatform(config, variant="hams-LP"),
-    "hams-LE": lambda config: HAMSPlatform(config, variant="hams-LE"),
-    "hams-TP": lambda config: HAMSPlatform(config, variant="hams-TP"),
-    "hams-TE": lambda config: HAMSPlatform(config, variant="hams-TE"),
-    "oracle": lambda config: OraclePlatform(config),
-    "bypass-nvdimm": lambda config: BypassPlatform(config, strategy="nvdimm"),
-    "bypass-ull": lambda config: BypassPlatform(config, strategy="ull"),
-    "bypass-ull-buff": lambda config: BypassPlatform(config, strategy="ull-buff"),
+#: Each factory maps ``(config, **kwargs)`` to a platform; the keyword
+#: arguments let run specs parameterise a registry entry (e.g. size the
+#: oracle DIMM for a stress test) without bypassing the registry.
+_FACTORIES: Dict[str, Callable[..., Platform]] = {
+    "mmap": lambda config, **kw: MmapPlatform(config, ssd_kind="ull-flash", **kw),
+    "mmap-ull": lambda config, **kw: MmapPlatform(config, ssd_kind="ull-flash", **kw),
+    "mmap-nvme": lambda config, **kw: MmapPlatform(config, ssd_kind="nvme-ssd", **kw),
+    "mmap-sata": lambda config, **kw: MmapPlatform(config, ssd_kind="sata-ssd", **kw),
+    "flatflash-P": lambda config, **kw: FlatFlashPlatform(config, mode="persist", **kw),
+    "flatflash-M": lambda config, **kw: FlatFlashPlatform(config, mode="memory", **kw),
+    "optane-P": lambda config, **kw: OptanePlatform(config, mode="persist", **kw),
+    "optane-M": lambda config, **kw: OptanePlatform(config, mode="memory", **kw),
+    "nvdimm-C": lambda config, **kw: NvdimmCPlatform(config, **kw),
+    "hams-LP": lambda config, **kw: HAMSPlatform(config, variant="hams-LP", **kw),
+    "hams-LE": lambda config, **kw: HAMSPlatform(config, variant="hams-LE", **kw),
+    "hams-TP": lambda config, **kw: HAMSPlatform(config, variant="hams-TP", **kw),
+    "hams-TE": lambda config, **kw: HAMSPlatform(config, variant="hams-TE", **kw),
+    "oracle": lambda config, **kw: OraclePlatform(config, **kw),
+    "bypass-nvdimm": lambda config, **kw: BypassPlatform(config, strategy="nvdimm", **kw),
+    "bypass-ull": lambda config, **kw: BypassPlatform(config, strategy="ull", **kw),
+    "bypass-ull-buff": lambda config, **kw: BypassPlatform(config, strategy="ull-buff", **kw),
 }
 
 
@@ -56,12 +59,15 @@ def available_platforms() -> List[str]:
 
 
 def create_platform(name: str,
-                    config: Optional[SystemConfig] = None) -> Platform:
+                    config: Optional[SystemConfig] = None,
+                    **kwargs) -> Platform:
     """Instantiate the platform called *name* with the given configuration.
 
     ``config`` defaults to the Table II system; experiments normally pass a
     configuration already shrunk by
-    :func:`repro.workloads.registry.scale_system_config`.
+    :func:`repro.workloads.registry.scale_system_config`.  Extra keyword
+    arguments are forwarded to the platform constructor (used by run specs,
+    e.g. ``create_platform("oracle", config, capacity_bytes=...)``).
     """
     try:
         factory = _FACTORIES[name]
@@ -69,4 +75,4 @@ def create_platform(name: str,
         raise ValueError(
             f"unknown platform {name!r}; expected one of {available_platforms()}"
         ) from None
-    return factory(config if config is not None else default_config())
+    return factory(config if config is not None else default_config(), **kwargs)

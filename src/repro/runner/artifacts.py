@@ -1,0 +1,254 @@
+"""Versioned JSON artifacts and the content-addressed run cache.
+
+Two kinds of files live under the artifact directory:
+
+* ``<experiment>.json`` — one **experiment artifact** per named experiment:
+  the schema version, the scale, a hash of the full system configuration and
+  one record per run with every metric the figures plot.  CI uploads these
+  so a perf regression is a JSON diff, not a rerun.
+
+* ``cache/<key>.json`` — one **run artifact** per executed run, stored under
+  the SHA-256 of the canonical JSON of (schema version, run spec, scale,
+  config).  Re-executing an experiment whose inputs did not change resolves
+  every run from this cache without touching a worker pool; any change to
+  the spec, the scale or any config field changes the key and forces a
+  re-run.
+
+Round-tripping is exact: JSON serialises Python floats via their shortest
+repr, which ``json.loads`` parses back to the identical IEEE-754 double, so
+a cache hit reproduces the original ``RunResult`` bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.experiments import ExperimentResult
+from ..config import SystemConfig
+from ..energy.accounting import EnergyBreakdown
+from ..platforms.base import RunResult
+from ..workloads.registry import ExperimentScale
+from .specs import RunSpec
+
+#: Bump when the serialised layout of a run record changes.
+RUN_SCHEMA = "repro.run/1"
+#: Bump when the experiment artifact layout changes.
+EXPERIMENT_SCHEMA = "repro.experiment/1"
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    return dataclasses.asdict(config)
+
+
+def scale_to_dict(scale: ExperimentScale) -> Dict[str, Any]:
+    return dataclasses.asdict(scale)
+
+
+def scale_from_dict(payload: Dict[str, Any]) -> ExperimentScale:
+    return ExperimentScale(**payload)
+
+
+def run_cache_key(spec: RunSpec, config: SystemConfig,
+                  scale: ExperimentScale) -> str:
+    """Content address of one run: hash of everything that determines it."""
+    digest = hashlib.sha256(canonical_json({
+        "schema": RUN_SCHEMA,
+        "spec": spec.canonical(),
+        "scale": scale_to_dict(scale),
+        "config": config_to_dict(config),
+    }).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# RunResult (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Flatten a RunResult into JSON-serialisable plain data."""
+    return {
+        "platform": result.platform,
+        "workload": result.workload,
+        "suite": result.suite,
+        "operation_unit": result.operation_unit,
+        "operations": result.operations,
+        "total_ns": result.total_ns,
+        "app_ns": result.app_ns,
+        "os_ns": result.os_ns,
+        "ssd_ns": result.ssd_ns,
+        "memory_stall_ns": result.memory_stall_ns,
+        "compute_ns": result.compute_ns,
+        "instructions": result.instructions,
+        "memory_accesses": result.memory_accesses,
+        "offchip_accesses": result.offchip_accesses,
+        "ipc": result.ipc,
+        "mips": result.mips,
+        "energy": {
+            "cpu_nj": result.energy.cpu_nj,
+            "nvdimm_nj": result.energy.nvdimm_nj,
+            "internal_dram_nj": result.energy.internal_dram_nj,
+            "znand_nj": result.energy.znand_nj,
+        },
+        "memory_delay": dict(result.memory_delay),
+        "extras": dict(result.extras),
+    }
+
+
+def run_result_from_dict(payload: Dict[str, Any]) -> RunResult:
+    """Rebuild the exact RunResult a previous run serialised."""
+    return RunResult(
+        platform=payload["platform"],
+        workload=payload["workload"],
+        suite=payload["suite"],
+        operation_unit=payload["operation_unit"],
+        operations=payload["operations"],
+        total_ns=payload["total_ns"],
+        app_ns=payload["app_ns"],
+        os_ns=payload["os_ns"],
+        ssd_ns=payload["ssd_ns"],
+        memory_stall_ns=payload["memory_stall_ns"],
+        compute_ns=payload["compute_ns"],
+        instructions=payload["instructions"],
+        memory_accesses=payload["memory_accesses"],
+        offchip_accesses=payload["offchip_accesses"],
+        ipc=payload["ipc"],
+        mips=payload["mips"],
+        energy=EnergyBreakdown(**payload["energy"]),
+        memory_delay=dict(payload["memory_delay"]),
+        extras=dict(payload["extras"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed run cache
+# ---------------------------------------------------------------------------
+
+
+class RunCache:
+    """Stores one JSON file per run, addressed by :func:`run_cache_key`.
+
+    ``root=None`` disables the cache entirely (every lookup misses, stores
+    are dropped).  ``--force`` semantics live in the runner: it skips
+    :meth:`load` but still calls :meth:`store`, refreshing the entries.
+    """
+
+    def __init__(self, root: Optional[Path]) -> None:
+        self.root = Path(root) if root is not None else None
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def path_for(self, key: str) -> Optional[Path]:
+        if self.root is None:
+            return None
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunResult]:
+        path = self.path_for(key)
+        if path is None or not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("schema") != RUN_SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return run_result_from_dict(payload["result"])
+
+    def store(self, key: str, spec: RunSpec, result: RunResult) -> None:
+        path = self.path_for(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": RUN_SCHEMA,
+            "key": key,
+            "spec": spec.canonical(),
+            "result": run_result_to_dict(result),
+        }
+        path.write_text(json.dumps(payload, sort_keys=True, indent=1),
+                        encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Experiment artifacts
+# ---------------------------------------------------------------------------
+
+
+def experiment_to_artifact(name: str, experiment: ExperimentResult,
+                           config: SystemConfig,
+                           meta: Optional[Dict[str, Any]] = None
+                           ) -> Dict[str, Any]:
+    """Assemble the versioned experiment artifact payload."""
+    runs: List[Dict[str, Any]] = []
+    for (platform_key, workload_key), result in experiment.results.items():
+        runs.append({
+            "platform_key": platform_key,
+            "workload_key": workload_key,
+            "operations_per_second": result.operations_per_second,
+            "result": run_result_to_dict(result),
+        })
+    config_digest = hashlib.sha256(
+        canonical_json(config_to_dict(config)).encode("utf-8")).hexdigest()
+    payload: Dict[str, Any] = {
+        "schema": EXPERIMENT_SCHEMA,
+        "experiment": name,
+        "created_unix": time.time(),
+        "scale": scale_to_dict(experiment.scale),
+        "config_hash": f"sha256:{config_digest}",
+        "runs": runs,
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+def write_experiment_artifact(directory: Path, name: str,
+                              experiment: ExperimentResult,
+                              config: SystemConfig,
+                              meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Write ``<directory>/<name>.json`` and return its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    payload = experiment_to_artifact(name, experiment, config, meta)
+    path.write_text(json.dumps(payload, sort_keys=True, indent=1),
+                    encoding="utf-8")
+    return path
+
+
+def load_experiment_artifact(path: Path) -> Dict[str, Any]:
+    """Read and validate one experiment artifact."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("schema") != EXPERIMENT_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported artifact schema {payload.get('schema')!r} "
+            f"(expected {EXPERIMENT_SCHEMA})")
+    return payload
+
+
+def experiment_from_artifact(payload: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild the ExperimentResult an artifact was written from."""
+    experiment = ExperimentResult(scale=scale_from_dict(payload["scale"]))
+    for run in payload["runs"]:
+        experiment.add(run["platform_key"], run["workload_key"],
+                       run_result_from_dict(run["result"]))
+    return experiment

@@ -1,0 +1,307 @@
+"""``python -m repro`` — run, list and report experiments from the shell.
+
+Subcommands
+-----------
+
+``run [EXPERIMENT ...]``
+    Execute named experiment presets (default: the CI ``smoke`` preset when
+    ``--smoke`` is given, otherwise every figure preset) over the worker
+    pool, write one versioned JSON artifact per experiment and print the
+    throughput summary.  ``--platforms``/``--workloads`` replace the presets
+    with one ad-hoc experiment called ``custom``.
+
+``list``
+    Show the available platforms, workloads and experiment presets.
+
+``report [EXPERIMENT ...]``
+    Re-read previously written artifacts and print their summaries without
+    re-running anything (what CI does after downloading artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..analysis.experiments import ExperimentResult
+from ..analysis.reporting import format_table
+from ..platforms.registry import PLATFORM_NAMES, available_platforms
+from ..workloads.registry import ExperimentScale, all_workload_names
+from .artifacts import (
+    EXPERIMENT_SCHEMA,
+    experiment_from_artifact,
+    load_experiment_artifact,
+    write_experiment_artifact,
+)
+from .parallel import ParallelExperimentRunner, resolve_worker_count
+from .presets import SMOKE_SCALE, ExperimentPreset, get_preset, preset_names
+
+DEFAULT_OUTPUT_DIR = Path("benchmarks") / "results"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HAMS reproduction experiment runner")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="execute experiments and write JSON artifacts")
+    run.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                     help=f"preset names ({', '.join(preset_names())}); "
+                          f"default: all figure presets")
+    run.add_argument("--smoke", action="store_true",
+                     help="tiny-scale CI smoke run (defaults to the 'smoke' "
+                          "preset)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: $REPRO_WORKERS or CPU "
+                          "count)")
+    run.add_argument("--output-dir", type=Path, default=DEFAULT_OUTPUT_DIR,
+                     help="directory for experiment artifacts "
+                          "(default: benchmarks/results)")
+    run.add_argument("--cache-dir", type=Path, default=None,
+                     help="content-addressed run cache "
+                          "(default: <output-dir>/cache)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the run cache entirely")
+    run.add_argument("--force", action="store_true",
+                     help="ignore cache hits but refresh stored runs")
+    run.add_argument("--platforms", nargs="+", metavar="PLATFORM",
+                     help="ad-hoc experiment: platform registry names")
+    run.add_argument("--workloads", nargs="+", metavar="WORKLOAD",
+                     help="ad-hoc experiment: Table III workload names")
+    run.add_argument("--capacity-scale", type=float, default=None,
+                     help="capacity shrink factor (e.g. 0.015625 for 1/64)")
+    run.add_argument("--instruction-scale", type=float, default=None,
+                     help="instruction-stream shrink factor")
+    run.add_argument("--min-accesses", type=int, default=None,
+                     help="lower bound on trace length")
+    run.add_argument("--max-accesses", type=int, default=None,
+                     help="upper bound on trace length")
+    run.add_argument("--seed", type=int, default=None,
+                     help="trace generator seed")
+    run.add_argument("--quiet", action="store_true",
+                     help="only print the one-line summary per experiment")
+    run.set_defaults(handler=cmd_run)
+
+    lst = subparsers.add_parser(
+        "list", help="list platforms, workloads and experiment presets")
+    lst.set_defaults(handler=cmd_list)
+
+    report = subparsers.add_parser(
+        "report", help="summarise previously written artifacts")
+    report.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="artifact names (default: every *.json in the "
+                             "output directory)")
+    report.add_argument("--output-dir", type=Path,
+                        default=DEFAULT_OUTPUT_DIR,
+                        help="directory holding the artifacts")
+    report.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def _build_scale(args: argparse.Namespace) -> ExperimentScale:
+    """Start from the smoke or default scale, then apply explicit knobs."""
+    base = SMOKE_SCALE if args.smoke else ExperimentScale()
+    kwargs = {}
+    if args.capacity_scale is not None:
+        kwargs["capacity_scale"] = args.capacity_scale
+    if args.instruction_scale is not None:
+        kwargs["instruction_scale"] = args.instruction_scale
+    if args.min_accesses is not None:
+        kwargs["min_accesses"] = args.min_accesses
+    if args.max_accesses is not None:
+        kwargs["max_accesses"] = args.max_accesses
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if not kwargs:
+        return base
+    import dataclasses
+    return dataclasses.replace(base, **kwargs)
+
+
+def _select_presets(args: argparse.Namespace) -> List[ExperimentPreset]:
+    if args.platforms or args.workloads:
+        if not (args.platforms and args.workloads):
+            raise ValueError(
+                "--platforms and --workloads must be given together")
+        return [ExperimentPreset(
+            name="custom", figure="custom",
+            description="ad-hoc experiment from the command line",
+            platforms=tuple(args.platforms),
+            workloads=tuple(args.workloads),
+            baseline=args.platforms[0])]
+    names = list(args.experiments)
+    if not names:
+        names = ["smoke"] if args.smoke else [
+            name for name in preset_names() if name != "smoke"]
+    return [get_preset(name) for name in names]
+
+
+def _summarise(experiment: ExperimentResult,
+               preset_name: str, baseline: str) -> str:
+    """Throughput table plus the mean-speedup headline when possible."""
+    lines = []
+    throughput = {
+        platform: {workload: experiment.get(platform, workload)
+                   .operations_per_second
+                   for workload in experiment.workloads()
+                   if (platform, workload) in experiment.results}
+        for platform in experiment.platforms()
+    }
+    lines.append(format_table(
+        throughput, title=f"{preset_name}: throughput (ops/s)",
+        float_format="{:.0f}", row_header="platform"))
+    if baseline in experiment.platforms():
+        speedups = {
+            platform: {f"speedup vs {baseline}":
+                       experiment.mean_speedup(platform, baseline)}
+            for platform in experiment.platforms()
+        }
+        lines.append("")
+        lines.append(format_table(
+            speedups, title=f"{preset_name}: mean speedup",
+            float_format="{:.2f}", row_header="platform"))
+    return "\n".join(lines)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        presets = _select_presets(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    scale = _build_scale(args)
+    cache_dir: Optional[Path]
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = args.output_dir / "cache"
+
+    try:
+        runner = ParallelExperimentRunner(
+            scale=scale, workers=args.workers, cache_dir=cache_dir,
+            force=args.force)
+    except ValueError as error:  # e.g. a malformed $REPRO_WORKERS
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    for preset in presets:
+        started = time.perf_counter()
+        hits_before, misses_before = runner.cache.hits, runner.cache.misses
+        try:
+            experiment = runner.run_matrix(preset.platforms,
+                                           preset.workloads)
+        except ValueError as error:
+            # Unknown platform/workload names surface here (ad-hoc
+            # --platforms/--workloads matrices are not validated up front).
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - started
+        hits = runner.cache.hits - hits_before
+        misses = runner.cache.misses - misses_before
+        path = write_experiment_artifact(
+            args.output_dir, preset.name, experiment, runner.config,
+            meta={
+                "figure": preset.figure,
+                "description": preset.description,
+                "baseline": preset.baseline,
+                "workers": runner.workers,
+                "elapsed_s": elapsed,
+                "cache_hits": hits,
+                "cache_misses": misses,
+            })
+        if not args.quiet:
+            print()
+            print(_summarise(experiment, preset.name, preset.baseline))
+            print()
+        print(f"{preset.name}: {preset.run_count} runs in {elapsed:.2f}s "
+              f"({runner.workers} workers, {hits} cached) -> {path}")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("platforms (Figure 16 legend order):")
+    for name in PLATFORM_NAMES:
+        print(f"  {name}")
+    extra = sorted(set(available_platforms()) - set(PLATFORM_NAMES))
+    print("additional registry entries:")
+    for name in extra:
+        print(f"  {name}")
+    print()
+    print("workloads (Table III order):")
+    for name in all_workload_names():
+        print(f"  {name}")
+    print()
+    print("experiments:")
+    for name in preset_names():
+        preset = get_preset(name)
+        print(f"  {name:8s} {preset.figure:12s} {preset.run_count:4d} runs  "
+              f"{preset.description}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    directory = args.output_dir
+    # Explicitly named artifacts must load (errors are reported); under the
+    # default glob, foreign JSON sharing the directory — the benchmarks'
+    # BENCH_<figure>.json records, garbage — is skipped silently.  Each
+    # file is read and parsed exactly once either way.
+    strict = bool(args.experiments)
+    if strict:
+        paths = [directory / f"{name}.json" for name in args.experiments]
+    else:
+        paths = sorted(directory.glob("*.json"))
+    status = 0
+    loaded = []
+    for path in paths:
+        try:
+            payload = load_experiment_artifact(path)
+            experiment = experiment_from_artifact(payload)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            if strict:
+                print(f"error: {path}: cannot read artifact ({error!r})",
+                      file=sys.stderr)
+                status = 1
+            continue
+        loaded.append((payload, experiment))
+    if not loaded and not strict:
+        print(f"error: no experiment artifacts found under {directory}",
+              file=sys.stderr)
+        return 1
+    for payload, experiment in loaded:
+        meta = payload.get("meta", {})
+        baseline = meta.get("baseline", "mmap")
+        print()
+        print(f"== {payload['experiment']} "
+              f"({meta.get('figure', 'unknown figure')}), "
+              f"config {payload['config_hash'][:15]}..., "
+              f"{len(payload['runs'])} runs ==")
+        print(_summarise(experiment, payload["experiment"], baseline))
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Piping into `head` and friends closes stdout early; exit quietly
+        # like a well-behaved UNIX tool instead of tracebacking.  Point
+        # stdout at devnull so the interpreter's exit-time flush does not
+        # raise again.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""Process-pool experiment runner with a content-addressed run cache.
+
+Every (platform, workload) replay of an experiment is independent and
+deterministic, so the matrix fans out over a ``multiprocessing`` pool.
+Workers never receive live device objects — pickling a half-run SSD model
+would be both expensive and wrong.  Instead each worker is initialised once
+with the (picklable, frozen) scaled :class:`~repro.config.SystemConfig` and
+:class:`~repro.workloads.registry.ExperimentScale`, receives plain
+:class:`~repro.runner.specs.RunSpec` records, rebuilds the trace through a
+per-process :class:`~repro.workloads.registry.TraceSpec` cache and the
+platform through the registry, and ships back only the ``RunResult``.
+
+Because trace synthesis is fully seeded and the replay is pure float
+arithmetic in a fixed order, a worker-built run is bit-identical to the same
+run executed serially — ``ParallelExperimentRunner(workers=N)`` produces
+exactly the metrics of the legacy serial ``ExperimentRunner`` for any N.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.experiments import ExperimentResult, ExperimentRunner
+from ..config import SystemConfig
+from ..platforms.base import RunResult
+from ..platforms.registry import create_platform
+from ..workloads.registry import ExperimentScale, TraceSpec
+from .artifacts import RunCache, run_cache_key
+from .specs import RunSpec, apply_config_overrides, matrix_specs
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_worker_count(workers: Optional[int] = None) -> int:
+    """Pick the worker count: explicit arg > $REPRO_WORKERS > CPU count."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def execute_spec(spec: RunSpec, config: SystemConfig, scale: ExperimentScale,
+                 trace_cache: Optional[Dict[tuple, object]] = None
+                 ) -> RunResult:
+    """Run one spec from scratch: build config, trace and platform, replay.
+
+    This is the single execution path shared by the serial fallback and the
+    pool workers, which is what guarantees serial/parallel equivalence.
+    """
+    run_config = apply_config_overrides(config, spec.config_overrides)
+    trace_spec = TraceSpec(workload=spec.workload, scale=scale,
+                           dataset_bytes_override=spec.dataset_bytes_override)
+    trace = None if trace_cache is None else trace_cache.get(trace_spec.cache_key)
+    if trace is None:
+        trace = trace_spec.build()
+        if trace_cache is not None:
+            trace_cache[trace_spec.cache_key] = trace
+    platform = create_platform(spec.platform, run_config,
+                               **dict(spec.platform_kwargs))
+    return platform.run(trace)
+
+
+# -- worker-process state -------------------------------------------------------
+#
+# Pool workers are initialised once per process; the trace cache lives for
+# the lifetime of the worker so a workload's trace is synthesised at most
+# once per process regardless of how many platforms replay it.
+
+_WORKER_CONFIG: Optional[SystemConfig] = None
+_WORKER_SCALE: Optional[ExperimentScale] = None
+_WORKER_TRACES: Dict[tuple, object] = {}
+
+
+def _worker_init(config: SystemConfig, scale: ExperimentScale) -> None:
+    global _WORKER_CONFIG, _WORKER_SCALE, _WORKER_TRACES
+    _WORKER_CONFIG = config
+    _WORKER_SCALE = scale
+    _WORKER_TRACES = {}
+
+
+def _worker_run(spec: RunSpec) -> RunResult:
+    assert _WORKER_CONFIG is not None and _WORKER_SCALE is not None
+    return execute_spec(spec, _WORKER_CONFIG, _WORKER_SCALE, _WORKER_TRACES)
+
+
+def _pool_context():
+    """Fork on Linux (cheap), spawn everywhere else.
+
+    macOS can fork but fork-without-exec is unsafe there (Accelerate/ObjC
+    frameworks may already hold locks), which is why CPython's own default
+    start method on macOS is spawn; mirror that rather than overriding it.
+    """
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")  # pragma: no cover
+
+
+class ParallelExperimentRunner(ExperimentRunner):
+    """Drop-in ``ExperimentRunner`` that fans runs out over processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` resolves via ``$REPRO_WORKERS`` then the CPU
+        count.  ``workers=1`` executes inline (no pool) and is bit-identical
+        to the serial runner — as is any other worker count.
+    cache_dir:
+        Directory of the content-addressed run cache; ``None`` disables
+        caching.  A cached run is returned without building anything.
+    force:
+        Ignore cache hits (re-execute everything) but still refresh the
+        cache with the new results.
+    """
+
+    def __init__(self, scale: Optional[ExperimentScale] = None,
+                 base_config: Optional[SystemConfig] = None,
+                 workers: Optional[int] = None,
+                 cache_dir: Optional[Path] = None,
+                 force: bool = False) -> None:
+        super().__init__(scale=scale, base_config=base_config)
+        self.workers = resolve_worker_count(workers)
+        self.cache = RunCache(cache_dir)
+        self.force = force
+
+    # -- cache plumbing ------------------------------------------------------------
+
+    def cache_key(self, spec: RunSpec) -> str:
+        return run_cache_key(spec, self.config, self.scale)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every spec (cache, then pool) preserving input order."""
+        specs = list(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(specs)
+        for index, spec in enumerate(specs):
+            if self.cache.enabled:
+                keys[index] = self.cache_key(spec)
+            cached = (None if self.force or not self.cache.enabled
+                      else self.cache.load(keys[index]))
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.workers <= 1 or len(pending) == 1:
+                for index in pending:
+                    results[index] = execute_spec(
+                        specs[index], self.config, self.scale,
+                        self._trace_cache)
+            else:
+                context = _pool_context()
+                processes = min(self.workers, len(pending))
+                # Chunks keep per-task IPC overhead low and, with the
+                # workload-major spec order, let a worker reuse its cached
+                # trace across a chunk; 4 chunks per worker still load-
+                # balances the uneven per-platform run times.
+                chunksize = max(1, len(pending) // (processes * 4))
+                with context.Pool(processes=processes,
+                                  initializer=_worker_init,
+                                  initargs=(self.config, self.scale)) as pool:
+                    fresh = pool.map(_worker_run,
+                                     [specs[index] for index in pending],
+                                     chunksize=chunksize)
+                for index, result in zip(pending, fresh):
+                    results[index] = result
+            if self.cache.enabled:
+                for index in pending:
+                    self.cache.store(keys[index], specs[index],
+                                     results[index])
+
+        return results  # type: ignore[return-value]
+
+    def run_spec(self, spec: RunSpec) -> RunResult:
+        return self.run_specs([spec])[0]
+
+    # -- ExperimentRunner API --------------------------------------------------------
+
+    def run_one(self, platform_name: str, workload: str,
+                dataset_bytes_override: Optional[int] = None) -> RunResult:
+        """Replay one workload on a freshly built platform (cache-aware)."""
+        return self.run_spec(RunSpec(
+            platform=platform_name, workload=workload,
+            dataset_bytes_override=dataset_bytes_override))
+
+    def run_matrix(self, platform_names: Iterable[str],
+                   workloads: Iterable[str]) -> ExperimentResult:
+        """Replay every workload on every platform, fanned out over workers."""
+        specs = matrix_specs(list(platform_names), list(workloads))
+        return self.collect(specs)
+
+    def collect(self, specs: Sequence[RunSpec]) -> ExperimentResult:
+        """Execute *specs* and merge the runs into one ExperimentResult."""
+        experiment = ExperimentResult(scale=self.scale)
+        for spec, result in zip(specs, self.run_specs(specs)):
+            key = spec.result_key
+            experiment.add(key[0], key[1], result)
+        return experiment

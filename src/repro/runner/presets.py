@@ -1,0 +1,121 @@
+"""Named experiment presets: the figure matrices as reusable definitions.
+
+Each preset names the (platforms x workloads) matrix one of the paper's
+figures replays, so the CLI, the benchmark harness and ad-hoc scripts all
+agree on what e.g. "fig16" means.  Presets hold only names — the scale and
+config are supplied by the runner — so they are trivially serialisable and
+hashable into artifact metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..platforms.registry import PLATFORM_NAMES
+from ..workloads.registry import (
+    ExperimentScale,
+    MICROBENCH_WORKLOADS,
+    SQLITE_WORKLOADS,
+    all_workload_names,
+)
+
+#: Scale used by ``repro run --smoke`` (and the CI benchmark smoke job):
+#: small enough that the full preset list replays in seconds, large enough
+#: that the relative platform ordering still matches the figures.
+SMOKE_SCALE = ExperimentScale(capacity_scale=1 / 256, min_accesses=200,
+                              max_accesses=600)
+
+_HAMS_VARIANTS = ("hams-LP", "hams-LE", "hams-TP", "hams-TE")
+_ALL_WORKLOADS = tuple(all_workload_names())
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """One named experiment matrix."""
+
+    name: str
+    figure: str
+    description: str
+    platforms: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    baseline: str = "mmap"
+
+    @property
+    def run_count(self) -> int:
+        return len(self.platforms) * len(self.workloads)
+
+
+_PRESETS: Dict[str, ExperimentPreset] = {
+    preset.name: preset for preset in (
+        ExperimentPreset(
+            name="fig16",
+            figure="Figure 16",
+            description="Application performance: every platform on every "
+                        "Table III workload",
+            platforms=tuple(PLATFORM_NAMES),
+            workloads=_ALL_WORKLOADS),
+        ExperimentPreset(
+            name="fig17",
+            figure="Figure 17",
+            description="Execution-time breakdown (app/OS/SSD) of mmap and "
+                        "the HAMS variants",
+            platforms=("mmap",) + _HAMS_VARIANTS,
+            workloads=_ALL_WORKLOADS),
+        ExperimentPreset(
+            name="fig18",
+            figure="Figure 18",
+            description="Memory access delay breakdown of the HAMS variants",
+            platforms=_HAMS_VARIANTS,
+            workloads=_ALL_WORKLOADS,
+            baseline="hams-LP"),
+        ExperimentPreset(
+            name="fig19",
+            figure="Figure 19",
+            description="Energy breakdown of mmap and the HAMS variants",
+            platforms=("mmap",) + _HAMS_VARIANTS,
+            workloads=_ALL_WORKLOADS),
+        ExperimentPreset(
+            name="mmf",
+            figure="Figure 6",
+            description="MMF (mmap) system on SATA / NVMe / ULL-Flash SSDs",
+            platforms=("mmap-sata", "mmap-nvme", "mmap-ull"),
+            workloads=tuple(MICROBENCH_WORKLOADS) + tuple(SQLITE_WORKLOADS),
+            baseline="mmap-sata"),
+        ExperimentPreset(
+            name="bypass",
+            figure="Figure 7b",
+            description="IPC of the naive storage-as-memory bypass "
+                        "strategies",
+            platforms=("bypass-nvdimm", "bypass-ull", "bypass-ull-buff"),
+            workloads=("rndRd", "rndWr", "rndSel", "update"),
+            baseline="bypass-nvdimm"),
+        ExperimentPreset(
+            name="sqlite",
+            figure="Figure 16b",
+            description="SQLite throughput on the main comparison platforms",
+            platforms=("mmap", "flatflash-M", "optane-M", "hams-LE",
+                       "hams-TE", "oracle"),
+            workloads=tuple(SQLITE_WORKLOADS)),
+        ExperimentPreset(
+            name="smoke",
+            figure="CI smoke",
+            description="Tiny cross-section of Fig. 16 for CI: four "
+                        "platforms, three workload classes",
+            platforms=("mmap", "hams-LE", "hams-TE", "oracle"),
+            workloads=("seqRd", "update", "BFS")),
+    )
+}
+
+
+def preset_names() -> List[str]:
+    return list(_PRESETS)
+
+
+def get_preset(name: str) -> ExperimentPreset:
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; expected one of {preset_names()}"
+        ) from None

@@ -1,0 +1,90 @@
+"""Picklable run specifications for the parallel experiment runner.
+
+A :class:`RunSpec` is the unit of work the runner fans out: it names a
+platform (by registry name), a workload (by Table III name) and the optional
+knobs the figure harnesses sweep — a dataset override (Fig. 20b), per-section
+config overrides (Fig. 20a's MoS page-size sweep) and platform constructor
+keyword arguments (the oracle DIMM capacity).  Everything in a spec is plain
+data, so it pickles cheaply to worker processes and serialises canonically
+for the content-addressed run cache; workers rebuild the live platform and
+trace objects locally from the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..config import SystemConfig
+
+#: Config sections a RunSpec may override, mirroring SystemConfig's fields.
+CONFIG_SECTIONS = ("cpu", "caches", "os_stack", "nvdimm", "ssd", "pcie",
+                   "sata", "nvme", "hams", "optane", "energy")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (platform, workload) replay, fully described by plain data.
+
+    ``label`` renames the platform axis of the experiment result — parameter
+    sweeps run the same platform several times under different keys (e.g.
+    ``"4KB"`` ... ``"1024KB"`` for the page-size sweep).
+    """
+
+    platform: str
+    workload: str
+    dataset_bytes_override: Optional[int] = None
+    config_overrides: Mapping[str, Mapping[str, Any]] = field(
+        default_factory=dict)
+    platform_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    @property
+    def result_key(self) -> Tuple[str, str]:
+        """Key under which this run lands in an ``ExperimentResult``."""
+        return (self.label if self.label is not None else self.platform,
+                self.workload)
+
+    def canonical(self) -> Dict[str, Any]:
+        """A deterministically ordered dict used for hashing and artifacts."""
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "dataset_bytes_override": self.dataset_bytes_override,
+            "config_overrides": {
+                section: dict(sorted(fields.items()))
+                for section, fields in sorted(self.config_overrides.items())
+            },
+            "platform_kwargs": dict(sorted(self.platform_kwargs.items())),
+        }
+
+
+def apply_config_overrides(config: SystemConfig,
+                           overrides: Mapping[str, Mapping[str, Any]]
+                           ) -> SystemConfig:
+    """Return *config* with per-section field overrides applied.
+
+    ``overrides`` maps a :data:`CONFIG_SECTIONS` name to ``{field: value}``,
+    e.g. ``{"hams": {"mos_page_bytes": 4096}}``.  The input config is frozen
+    and never mutated.
+    """
+    for section, fields in overrides.items():
+        if section not in CONFIG_SECTIONS:
+            raise ValueError(
+                f"unknown config section {section!r}; "
+                f"expected one of {CONFIG_SECTIONS}")
+        section_config = replace(getattr(config, section), **dict(fields))
+        config = replace(config, **{section: section_config})
+    return config
+
+
+def matrix_specs(platform_names, workloads) -> list:
+    """Specs for the full (platform x workload) matrix.
+
+    Iteration order matches the serial ``ExperimentRunner.run_matrix`` loop
+    (workloads outer, platforms inner) so serial and parallel executions
+    enumerate — and therefore report — runs identically.
+    """
+    return [RunSpec(platform=platform, workload=workload)
+            for workload in workloads
+            for platform in platform_names]

@@ -26,6 +26,10 @@ class Counter:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter into this one (parallel-run merge)."""
+        self.value += other.value
+
     def reset(self) -> None:
         self.value = 0.0
 
@@ -145,6 +149,16 @@ class Histogram:
         labels = [f"<={bound:g}" for bound in self.bounds] + ["overflow"]
         return dict(zip(labels, self.counts))
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one; bucket bounds must match."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"bucket bounds differ")
+        self.counts = [mine + theirs
+                       for mine, theirs in zip(self.counts, other.counts)]
+        self.total_samples += other.total_samples
+
     def reset(self) -> None:
         self.counts = [0] * (len(self.bounds) + 1)
         self.total_samples = 0
@@ -186,6 +200,22 @@ class StatRegistry:
             out[f"{base}.total_ns"] = stat.total
             out[f"{base}.max_ns"] = stat.max if stat.count else 0.0
         return out
+
+    def merge(self, other: "StatRegistry") -> None:
+        """Fold the statistics of *other* into this registry.
+
+        Counters add, latency aggregates combine via the parallel Welford
+        merge, histograms add bucket-wise.  Names present only in *other*
+        are created here first, so no statistic is lost.  This is the
+        aggregation primitive for sharded execution (see ROADMAP): the
+        in-process runner ships ``RunResult`` records instead.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).merge(counter)
+        for name, stat in other.latencies.items():
+            self.latency(name).merge(stat)
+        for name, histogram in other.histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
 
     def reset(self) -> None:
         for counter in self.counters.values():

@@ -256,6 +256,33 @@ def build_trace(name: str, scale: Optional[ExperimentScale] = None,
     )
 
 
+@dataclass(frozen=True)
+class TraceSpec:
+    """A picklable, lazily buildable description of one workload trace.
+
+    Worker processes of the parallel experiment runner receive these instead
+    of live :class:`~repro.workloads.trace.WorkloadTrace` objects: shipping
+    the spec costs a few hundred bytes, and :meth:`build` reconstructs the
+    exact trace deterministically (the generators are fully seeded by
+    ``scale.seed``), so a trace built in a worker is bit-identical to the one
+    the serial runner builds in-process.
+    """
+
+    workload: str
+    scale: ExperimentScale
+    dataset_bytes_override: Optional[int] = None
+
+    def build(self) -> WorkloadTrace:
+        """Synthesise the trace this spec describes."""
+        return build_trace(self.workload, self.scale,
+                           dataset_bytes_override=self.dataset_bytes_override)
+
+    @property
+    def cache_key(self) -> tuple:
+        """Key under which per-process trace caches memoise the build."""
+        return (self.workload, self.dataset_bytes_override)
+
+
 # ---------------------------------------------------------------------------
 # System scaling
 # ---------------------------------------------------------------------------

@@ -1,0 +1,179 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import EXPERIMENT_SCHEMA, get_preset, preset_names
+from repro.runner.cli import build_parser, main
+from repro.runner.presets import SMOKE_SCALE
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.experiments == []
+        assert not args.smoke
+        assert args.workers is None
+        assert not args.no_cache
+
+    def test_run_flags(self):
+        args = build_parser().parse_args([
+            "run", "fig16", "smoke", "--workers", "4", "--smoke",
+            "--no-cache", "--force", "--max-accesses", "512",
+            "--seed", "7"])
+        assert args.experiments == ["fig16", "smoke"]
+        assert args.workers == 4
+        assert args.smoke and args.no_cache and args.force
+        assert args.max_accesses == 512
+        assert args.seed == 7
+
+    def test_report_and_list_subcommands(self):
+        assert build_parser().parse_args(["list"]).command == "list"
+        args = build_parser().parse_args(["report", "fig16"])
+        assert args.experiments == ["fig16"]
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestPresets:
+    def test_known_presets_exist(self):
+        names = preset_names()
+        for expected in ("fig16", "fig17", "fig18", "fig19", "smoke"):
+            assert expected in names
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_preset("fig99")
+
+    def test_fig16_covers_full_matrix(self):
+        preset = get_preset("fig16")
+        assert preset.run_count == 11 * 12
+
+    def test_smoke_scale_is_tiny(self):
+        assert SMOKE_SCALE.max_accesses <= 1000
+
+
+class TestListCommand:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("hams-TE", "mmap", "seqRd", "update", "fig16",
+                      "smoke"):
+            assert token in out
+
+
+class TestRunCommand:
+    def test_smoke_run_writes_artifact(self, tmp_path, capsys):
+        status = main(["run", "--smoke", "--workers", "1",
+                       "--output-dir", str(tmp_path), "--quiet"])
+        assert status == 0
+        artifact = tmp_path / "smoke.json"
+        assert artifact.is_file()
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["schema"] == EXPERIMENT_SCHEMA
+        assert payload["experiment"] == "smoke"
+        assert payload["meta"]["workers"] == 1
+        assert len(payload["runs"]) == get_preset("smoke").run_count
+        assert (tmp_path / "cache").is_dir()
+        out = capsys.readouterr().out
+        assert "smoke:" in out and "0 cached" in out
+
+    def test_second_run_hits_cache(self, tmp_path, capsys):
+        main(["run", "--smoke", "--workers", "1",
+              "--output-dir", str(tmp_path), "--quiet"])
+        capsys.readouterr()
+        main(["run", "--smoke", "--workers", "1",
+              "--output-dir", str(tmp_path), "--quiet"])
+        out = capsys.readouterr().out
+        runs = get_preset("smoke").run_count
+        assert f"{runs} cached" in out
+
+    def test_custom_matrix(self, tmp_path):
+        status = main(["run", "--smoke", "--workers", "1", "--no-cache",
+                       "--platforms", "mmap", "hams-TE",
+                       "--workloads", "seqRd",
+                       "--output-dir", str(tmp_path), "--quiet"])
+        assert status == 0
+        payload = json.loads((tmp_path / "custom.json")
+                             .read_text(encoding="utf-8"))
+        keys = {(run["platform_key"], run["workload_key"])
+                for run in payload["runs"]}
+        assert keys == {("mmap", "seqRd"), ("hams-TE", "seqRd")}
+
+    def test_platforms_without_workloads_is_an_error(self, tmp_path,
+                                                     capsys):
+        status = main(["run", "--smoke", "--platforms", "mmap",
+                       "--output-dir", str(tmp_path)])
+        assert status == 2
+        assert "must be given together" in capsys.readouterr().err
+
+    def test_unknown_experiment_is_an_error(self, tmp_path, capsys):
+        status = main(["run", "fig99", "--output-dir", str(tmp_path)])
+        assert status == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_round_trip(self, tmp_path, capsys):
+        main(["run", "--smoke", "--workers", "1",
+              "--output-dir", str(tmp_path), "--quiet"])
+        capsys.readouterr()
+        status = main(["report", "--output-dir", str(tmp_path), "smoke"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "throughput (ops/s)" in out
+        assert "mean speedup" in out
+        assert "hams-TE" in out
+
+    def test_report_without_artifacts_fails(self, tmp_path, capsys):
+        status = main(["report", "--output-dir", str(tmp_path)])
+        assert status == 1
+        assert "no experiment artifacts" in capsys.readouterr().err
+
+    def test_report_glob_skips_foreign_json(self, tmp_path, capsys):
+        """BENCH_<figure>.json records in the same directory are ignored."""
+        main(["run", "--smoke", "--workers", "1",
+              "--output-dir", str(tmp_path), "--quiet"])
+        (tmp_path / "BENCH_fig16.json").write_text(
+            json.dumps({"schema": "repro.bench-figure/1", "tables": {}}),
+            encoding="utf-8")
+        (tmp_path / "garbage.json").write_text("{not json",
+                                               encoding="utf-8")
+        capsys.readouterr()
+        status = main(["report", "--output-dir", str(tmp_path)])
+        out = capsys.readouterr()
+        assert status == 0
+        assert "smoke" in out.out
+        assert out.err == ""
+
+    def test_explicitly_named_bad_artifact_is_an_error(self, tmp_path,
+                                                       capsys):
+        (tmp_path / "broken.json").write_text(
+            json.dumps({"schema": EXPERIMENT_SCHEMA}), encoding="utf-8")
+        status = main(["report", "--output-dir", str(tmp_path), "broken"])
+        assert status == 1
+        assert "cannot read artifact" in capsys.readouterr().err
+
+
+class TestWorkerEnv:
+    def test_malformed_repro_workers_is_a_clean_cli_error(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        status = main(["run", "--smoke", "--output-dir", str(tmp_path)])
+        assert status == 2
+        assert "REPRO_WORKERS must be an integer" in \
+            capsys.readouterr().err
+
+    def test_repro_workers_env_resolves(self, monkeypatch):
+        from repro.runner import resolve_worker_count
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_worker_count() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "bad")
+        with pytest.raises(ValueError, match="must be an integer"):
+            resolve_worker_count()

@@ -1,0 +1,261 @@
+"""Tests for the parallel experiment runner, its cache and its artifacts.
+
+The load-bearing property is determinism: a pool run must be bit-identical
+to a serial run, and a cache hit must reproduce the original result exactly
+(the figures' assertions compare floats without tolerance).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult, ExperimentRunner
+from repro.runner import (
+    EXPERIMENT_SCHEMA,
+    ParallelExperimentRunner,
+    RunCache,
+    RunSpec,
+    apply_config_overrides,
+    experiment_from_artifact,
+    load_experiment_artifact,
+    matrix_specs,
+    run_cache_key,
+    run_result_from_dict,
+    run_result_to_dict,
+    write_experiment_artifact,
+)
+from repro.runner import parallel as parallel_module
+from repro.units import KB
+from repro.workloads.registry import ExperimentScale, TraceSpec
+
+#: Small enough that a full matrix run stays sub-second, large enough that
+#: the platforms do real work (cache fills, evictions, energy accounting).
+TINY = ExperimentScale(capacity_scale=1 / 512, min_accesses=120,
+                       max_accesses=240)
+PLATFORMS = ["mmap", "hams-TE"]
+WORKLOADS = ["seqRd", "update"]
+
+
+def _as_dicts(experiment: ExperimentResult) -> dict:
+    return {key: run_result_to_dict(result)
+            for key, result in experiment.results.items()}
+
+
+class TestDeterminism:
+    def test_serial_runner_equivalence(self):
+        """workers=1 reproduces the legacy serial runner bit for bit."""
+        serial = ExperimentRunner(TINY).run_matrix(PLATFORMS, WORKLOADS)
+        inline = ParallelExperimentRunner(TINY, workers=1).run_matrix(
+            PLATFORMS, WORKLOADS)
+        assert _as_dicts(inline) == _as_dicts(serial)
+
+    def test_pool_equivalence(self):
+        """A multi-process pool run is bit-identical to the inline run."""
+        inline = ParallelExperimentRunner(TINY, workers=1).run_matrix(
+            PLATFORMS, WORKLOADS)
+        pooled = ParallelExperimentRunner(TINY, workers=3).run_matrix(
+            PLATFORMS, WORKLOADS)
+        assert _as_dicts(pooled) == _as_dicts(inline)
+
+    def test_matrix_spec_order_matches_serial_loop(self):
+        specs = matrix_specs(["a", "b"], ["w1", "w2"])
+        assert [spec.result_key for spec in specs] == [
+            ("a", "w1"), ("b", "w1"), ("a", "w2"), ("b", "w2")]
+
+    def test_trace_spec_builds_identical_trace(self):
+        spec = TraceSpec("seqRd", TINY)
+        first, second = spec.build(), spec.build()
+        assert first.dataset_bytes == second.dataset_bytes
+        assert [(access.address, access.is_write)
+                for access in first.accesses] == \
+               [(access.address, access.is_write)
+                for access in second.accesses]
+
+
+class TestRunSpecs:
+    def test_config_override_changes_behaviour(self):
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        default = runner.run_spec(RunSpec("hams-TE", "seqSel"))
+        tiny_pages = runner.run_spec(RunSpec(
+            "hams-TE", "seqSel",
+            config_overrides={"hams": {"mos_page_bytes": KB(4)}}))
+        assert tiny_pages.total_ns != default.total_ns
+
+    def test_unknown_config_section_rejected(self):
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        with pytest.raises(ValueError, match="unknown config section"):
+            apply_config_overrides(runner.config, {"bogus": {"x": 1}})
+
+    def test_platform_kwargs_reach_constructor(self):
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        result = runner.run_spec(RunSpec(
+            "oracle", "seqRd", platform_kwargs={"capacity_bytes": 1 << 26}))
+        assert result.platform == "oracle"
+
+    def test_label_renames_result_key(self):
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        experiment = runner.collect([
+            RunSpec("hams-TE", "seqRd", label="sweep-point")])
+        assert ("sweep-point", "seqRd") in experiment.results
+
+    def test_run_one_matches_legacy_signature(self):
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        override = TINY.scaled_bytes(1 << 34)
+        result = runner.run_one("mmap", "seqRd",
+                                dataset_bytes_override=override)
+        legacy = ExperimentRunner(TINY).run_one(
+            "mmap", "seqRd", dataset_bytes_override=override)
+        assert run_result_to_dict(result) == run_result_to_dict(legacy)
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, tmp_path):
+        first = ParallelExperimentRunner(TINY, workers=1,
+                                         cache_dir=tmp_path)
+        baseline = first.run_matrix(PLATFORMS, WORKLOADS)
+        assert first.cache.hits == 0
+        assert first.cache.misses == len(PLATFORMS) * len(WORKLOADS)
+
+        second = ParallelExperimentRunner(TINY, workers=1,
+                                          cache_dir=tmp_path)
+        replay = second.run_matrix(PLATFORMS, WORKLOADS)
+        assert second.cache.hits == len(PLATFORMS) * len(WORKLOADS)
+        assert second.cache.misses == 0
+        assert _as_dicts(replay) == _as_dicts(baseline)
+
+    def test_hit_skips_execution(self, tmp_path, monkeypatch):
+        runner = ParallelExperimentRunner(TINY, workers=1,
+                                          cache_dir=tmp_path)
+        runner.run_spec(RunSpec("mmap", "seqRd"))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cached run must not re-execute")
+
+        monkeypatch.setattr(parallel_module, "execute_spec", boom)
+        fresh = ParallelExperimentRunner(TINY, workers=1,
+                                         cache_dir=tmp_path)
+        fresh.run_spec(RunSpec("mmap", "seqRd"))
+        assert fresh.cache.hits == 1
+
+    def test_scale_change_invalidates(self, tmp_path):
+        spec = RunSpec("mmap", "seqRd")
+        ParallelExperimentRunner(TINY, workers=1,
+                                 cache_dir=tmp_path).run_spec(spec)
+        other_scale = ExperimentScale(capacity_scale=1 / 512,
+                                      min_accesses=120, max_accesses=240,
+                                      seed=7)
+        other = ParallelExperimentRunner(other_scale, workers=1,
+                                         cache_dir=tmp_path)
+        other.run_spec(spec)
+        assert other.cache.hits == 0
+        assert other.cache.misses == 1
+
+    def test_config_change_invalidates_key(self):
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        spec = RunSpec("hams-TE", "seqRd")
+        base_key = run_cache_key(spec, runner.config, runner.scale)
+        tweaked = runner.config.with_hams(mos_page_bytes=KB(4))
+        assert run_cache_key(spec, tweaked, runner.scale) != base_key
+
+    def test_spec_knobs_change_key(self):
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        base = run_cache_key(RunSpec("mmap", "seqRd"), runner.config,
+                             runner.scale)
+        for variant in (
+                RunSpec("mmap", "rndRd"),
+                RunSpec("mmap", "seqRd", dataset_bytes_override=1 << 22),
+                RunSpec("mmap", "seqRd",
+                        config_overrides={"hams": {"tag_check_ns": 11.0}}),
+        ):
+            assert run_cache_key(variant, runner.config,
+                                 runner.scale) != base
+
+    def test_force_reexecutes_but_restores(self, tmp_path):
+        spec = RunSpec("mmap", "seqRd")
+        ParallelExperimentRunner(TINY, workers=1,
+                                 cache_dir=tmp_path).run_spec(spec)
+        forced = ParallelExperimentRunner(TINY, workers=1,
+                                          cache_dir=tmp_path, force=True)
+        forced.run_spec(spec)
+        assert forced.cache.hits == 0
+
+    def test_disabled_cache(self):
+        cache = RunCache(None)
+        assert not cache.enabled
+        assert cache.load("deadbeef") is None
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        runner = ParallelExperimentRunner(TINY, workers=1,
+                                          cache_dir=tmp_path)
+        spec = RunSpec("mmap", "seqRd")
+        runner.run_spec(spec)
+        path = runner.cache.path_for(runner.cache_key(spec))
+        path.write_text("{not json", encoding="utf-8")
+        fresh = ParallelExperimentRunner(TINY, workers=1,
+                                         cache_dir=tmp_path)
+        result = fresh.run_spec(spec)
+        assert fresh.cache.hits == 0
+        assert result.platform == "mmap"
+
+
+class TestArtifacts:
+    def test_run_result_round_trip(self):
+        result = ParallelExperimentRunner(TINY, workers=1).run_one(
+            "hams-TE", "update")
+        payload = run_result_to_dict(result)
+        rebuilt = run_result_from_dict(
+            json.loads(json.dumps(payload)))
+        assert run_result_to_dict(rebuilt) == payload
+        assert rebuilt.energy.total_nj == result.energy.total_nj
+        assert rebuilt.operations_per_second == result.operations_per_second
+
+    def test_experiment_artifact_round_trip(self, tmp_path):
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        experiment = runner.run_matrix(PLATFORMS, WORKLOADS)
+        path = write_experiment_artifact(tmp_path, "tiny", experiment,
+                                         runner.config,
+                                         meta={"workers": runner.workers})
+        payload = load_experiment_artifact(path)
+        assert payload["schema"] == EXPERIMENT_SCHEMA
+        assert payload["experiment"] == "tiny"
+        assert payload["config_hash"].startswith("sha256:")
+        assert len(payload["runs"]) == len(PLATFORMS) * len(WORKLOADS)
+        rebuilt = experiment_from_artifact(payload)
+        assert rebuilt.scale == experiment.scale
+        assert _as_dicts(rebuilt) == _as_dicts(experiment)
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope/9", "runs": []}),
+                        encoding="utf-8")
+        with pytest.raises(ValueError, match="unsupported artifact schema"):
+            load_experiment_artifact(path)
+
+
+class TestExperimentResultMerge:
+    def test_merge_combines_shards(self):
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        left = runner.run_matrix(["mmap"], WORKLOADS)
+        right = runner.run_matrix(["hams-TE"], WORKLOADS)
+        merged = left.merge(right)
+        assert merged is left
+        assert set(merged.platforms()) == {"mmap", "hams-TE"}
+        assert merged.get("hams-TE", "update").platform == "hams-TE"
+
+    def test_speedup_tolerates_non_rectangular_results(self):
+        """Merged shards need not be rectangular; missing cells are skipped."""
+        runner = ParallelExperimentRunner(TINY, workers=1)
+        experiment = runner.run_matrix(["mmap", "hams-TE"], ["seqRd"])
+        experiment.merge(runner.run_matrix(["hams-TE"], ["update"]))
+        speedups = experiment.speedup_over("hams-TE", "mmap")
+        assert list(speedups) == ["seqRd"]
+        assert experiment.mean_speedup("hams-TE", "mmap") > 0
+        assert experiment.energy_ratio("hams-TE", "mmap") > 0
+
+    def test_merge_rejects_scale_mismatch(self):
+        left = ExperimentResult(scale=TINY)
+        right = ExperimentResult(scale=ExperimentScale())
+        with pytest.raises(ValueError, match="different scales"):
+            left.merge(right)

@@ -140,3 +140,69 @@ class TestStatRegistry:
         registry.reset()
         assert registry.counter("ops").value == 0
         assert registry.latency("lat").count == 0
+
+
+class TestMerge:
+    """Parallel-run merges: workers' registries fold into one aggregate."""
+
+    def test_counter_merge_adds(self):
+        left, right = Counter("x"), Counter("x")
+        left.add(3)
+        right.add(4.5)
+        left.merge(right)
+        assert left.value == 7.5
+
+    def test_histogram_merge_adds_bucketwise(self):
+        left = Histogram("h", [10.0, 100.0])
+        right = Histogram("h", [10.0, 100.0])
+        for sample in (5.0, 50.0):
+            left.record(sample)
+        for sample in (50.0, 500.0):
+            right.record(sample)
+        left.merge(right)
+        assert left.total_samples == 4
+        assert left.as_dict() == {"<=10": 1, "<=100": 2, "overflow": 1}
+
+    def test_histogram_merge_rejects_bound_mismatch(self):
+        left = Histogram("h", [10.0])
+        right = Histogram("h", [20.0])
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_registry_merge_folds_all_kinds(self):
+        left, right = StatRegistry(), StatRegistry()
+        left.counter("ops").add(1)
+        right.counter("ops").add(2)
+        right.counter("only_right").add(7)
+        left.latency("lat").record(10.0)
+        right.latency("lat").record(30.0)
+        right.histogram("sizes", [64.0]).record(32.0)
+        left.merge(right)
+        assert left.counter("ops").value == 3
+        assert left.counter("only_right").value == 7
+        assert left.latency("lat").count == 2
+        assert left.latency("lat").mean == 20.0
+        assert left.histogram("sizes", [64.0]).total_samples == 1
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1),
+           st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1))
+    def test_registry_latency_merge_matches_single_stream(self, first,
+                                                          second):
+        split_left, split_right = StatRegistry(), StatRegistry()
+        combined = StatRegistry()
+        for sample in first:
+            split_left.latency("lat").record(sample)
+            combined.latency("lat").record(sample)
+        for sample in second:
+            split_right.latency("lat").record(sample)
+            combined.latency("lat").record(sample)
+        split_left.merge(split_right)
+        merged = split_left.latency("lat")
+        reference = combined.latency("lat")
+        assert merged.count == reference.count
+        assert merged.min == reference.min
+        assert merged.max == reference.max
+        assert math.isclose(merged.total, reference.total,
+                            rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(merged.mean, reference.mean,
+                            rel_tol=1e-9, abs_tol=1e-6)
