@@ -34,7 +34,7 @@ def _bandwidth_mb_per_s(result) -> float:
 
 def test_fig06_mmf_system_performance(benchmark, small_runner):
     def experiment():
-        matrix = small_runner.run_matrix(
+        matrix = small_runner.compare(
             SSD_PLATFORMS.values(), MICRO_WORKLOADS + SQLITE_WORKLOADS)
         bandwidth: Dict[str, Dict[str, float]] = {}
         latency: Dict[str, Dict[str, float]] = {}

@@ -30,7 +30,7 @@ BYPASS_PLATFORMS = {"nvdimm": "bypass-nvdimm", "ull": "bypass-ull",
 
 def test_fig07a_mmf_execution_breakdown(benchmark, small_runner):
     def experiment():
-        matrix = small_runner.run_matrix(["mmap", "oracle"], WORKLOADS)
+        matrix = small_runner.compare(["mmap", "oracle"], WORKLOADS)
         table: Dict[str, Dict[str, float]] = {}
         for workload in WORKLOADS:
             mmap_result = matrix.get("mmap", workload)
@@ -74,7 +74,7 @@ def test_fig07a_mmf_execution_breakdown(benchmark, small_runner):
 
 def test_fig07b_bypass_ipc(benchmark, small_runner):
     def experiment():
-        matrix = small_runner.run_matrix(BYPASS_PLATFORMS.values(),
+        matrix = small_runner.compare(BYPASS_PLATFORMS.values(),
                                          BYPASS_WORKLOADS)
         return {workload: {strategy: matrix.get(platform, workload).ipc
                            for strategy, platform in BYPASS_PLATFORMS.items()}

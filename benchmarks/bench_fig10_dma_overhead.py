@@ -25,7 +25,7 @@ def test_fig10a_dma_overhead(benchmark, bench_runner):
     def experiment():
         # The controller publishes its DMA share through the run result's
         # extras, so the workers' platforms never need to come back whole.
-        matrix = bench_runner.run_matrix(["hams-LE", "hams-TE"], WORKLOADS)
+        matrix = bench_runner.compare(["hams-LE", "hams-TE"], WORKLOADS)
         return {
             workload: {
                 "hams-L dma share": matrix.get("hams-LE", workload)

@@ -27,7 +27,7 @@ ALL_WORKLOADS = PAGE_WORKLOADS + list(SQLITE_WORKLOADS)
 def test_fig16_application_performance(benchmark, bench_runner):
     def experiment():
         # The full 11x12 matrix fans out over the runner's worker pool.
-        return bench_runner.run_matrix(PLATFORM_NAMES, ALL_WORKLOADS)
+        return bench_runner.compare(PLATFORM_NAMES, ALL_WORKLOADS)
 
     experiment_result = run_once(benchmark, experiment)
 

@@ -27,7 +27,7 @@ def test_fig18_memory_delay_breakdown(benchmark, bench_runner):
     def experiment():
         # Parallel fan-out over the whole matrix; tables come from the
         # merged experiment result.
-        matrix = bench_runner.run_matrix(PLATFORMS, WORKLOADS)
+        matrix = bench_runner.compare(PLATFORMS, WORKLOADS)
         per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
         hit_rates: Dict[str, float] = {}
         for workload in WORKLOADS:

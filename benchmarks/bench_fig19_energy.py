@@ -26,7 +26,7 @@ def test_fig19_energy_breakdown(benchmark, bench_runner):
     def experiment():
         # Parallel fan-out over the whole matrix; tables come from the
         # merged experiment result.
-        matrix = bench_runner.run_matrix(PLATFORMS, WORKLOADS)
+        matrix = bench_runner.compare(PLATFORMS, WORKLOADS)
         per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
         for workload in WORKLOADS:
             results = {platform: matrix.get(platform, workload)

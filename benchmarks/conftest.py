@@ -6,10 +6,10 @@ experiment exactly once (``benchmark.pedantic(..., rounds=1)``) and prints
 the same rows/series the figure plots; the pytest-benchmark timing then
 reports how long regenerating that figure takes.
 
-The harness runs on the :class:`~repro.runner.ParallelExperimentRunner`:
-each figure's (platform x workload) matrix fans out over a process pool
-(``$REPRO_WORKERS`` workers, defaulting to the CPU count), and every figure
-additionally records its plotted tables as a machine-readable
+The harness runs on the public :class:`repro.api.Session` facade: each
+figure's (platform x workload) matrix fans out over the session's process
+pool (``$REPRO_WORKERS`` workers, defaulting to the CPU count), and every
+figure additionally records its plotted tables as a machine-readable
 ``results/BENCH_<figure>.json`` artifact that CI uploads.  The run cache is
 deliberately disabled here so the benchmark timings measure real work; the
 ``python -m repro run`` CLI is the cache-aware path.
@@ -28,7 +28,7 @@ from typing import Any, Dict, Mapping, Optional
 
 import pytest
 
-from repro.runner import ParallelExperimentRunner, resolve_worker_count
+from repro.api import Session
 from repro.workloads.registry import ExperimentScale
 
 #: All figure tables are appended here as well as printed, so the numbers
@@ -82,17 +82,15 @@ SMALL_SCALE = ExperimentScale(capacity_scale=1 / 128, min_accesses=1_000,
 
 
 @pytest.fixture(scope="session")
-def bench_runner() -> ParallelExperimentRunner:
-    """Runner shared by the application-level figure benchmarks."""
-    return ParallelExperimentRunner(BENCH_SCALE,
-                                    workers=resolve_worker_count())
+def bench_runner() -> Session:
+    """Session shared by the application-level figure benchmarks."""
+    return Session(BENCH_SCALE)
 
 
 @pytest.fixture(scope="session")
-def small_runner() -> ParallelExperimentRunner:
-    """Runner shared by the motivation-figure benchmarks."""
-    return ParallelExperimentRunner(SMALL_SCALE,
-                                    workers=resolve_worker_count())
+def small_runner() -> Session:
+    """Session shared by the motivation-figure benchmarks."""
+    return Session(SMALL_SCALE)
 
 
 def run_once(benchmark, function):

@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExperimentScale, ParallelExperimentRunner, RunSpec
+from repro import ExperimentScale, Session
 from repro.analysis.reporting import format_table
 from repro.units import KB
 
@@ -24,17 +24,13 @@ WORKLOADS = ["seqSel", "rndSel"]
 
 
 def main() -> None:
-    runner = ParallelExperimentRunner(ExperimentScale(capacity_scale=1 / 64,
-                                                      max_accesses=3_000))
-    # One labelled spec per swept page size; the twelve runs fan out over
+    session = Session(ExperimentScale(capacity_scale=1 / 64,
+                                      max_accesses=3_000))
+    # One labelled run per swept page size; the twelve runs fan out over
     # the worker pool and come back keyed by their "4KB".."1024KB" labels.
-    sweep = runner.collect([
-        RunSpec("hams-TE", workload,
-                config_overrides={"hams": {"mos_page_bytes": page_size}},
-                label=f"{page_size // 1024}KB")
-        for workload in WORKLOADS
-        for page_size in PAGE_SIZES
-    ])
+    sweep = session.sweep(
+        "hams-TE", WORKLOADS, "hams", "mos_page_bytes", PAGE_SIZES,
+        labels=[f"{page_size // 1024}KB" for page_size in PAGE_SIZES])
     table = {}
     details = {}
     for workload in WORKLOADS:

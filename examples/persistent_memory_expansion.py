@@ -19,17 +19,18 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExperimentScale, ParallelExperimentRunner
+from repro import ExperimentScale, Session
 from repro.core.hams_controller import HAMSController
 from repro.nvme.commands import build_write
 from repro.units import KB, to_ms
 
 
 def main() -> None:
-    # The runner owns the scaled Table II configuration; this example drives
-    # the controller below the platform layer, so it only borrows the config.
-    runner = ParallelExperimentRunner(ExperimentScale(capacity_scale=1 / 256))
-    config = runner.config.with_hams(integration="tight", mode="extend")
+    # The session owns the scaled Table II configuration; this example
+    # drives the controller below the platform layer, so it only borrows
+    # the config.
+    session = Session(ExperimentScale(capacity_scale=1 / 256))
+    config = session.config.with_hams(integration="tight", mode="extend")
     hams = HAMSController(config)
     hams.ssd.precondition(0, 4096)
 

@@ -1,16 +1,17 @@
 #!/usr/bin/env python3
 """Quickstart: run one workload on advanced HAMS and on the mmap baseline.
 
-This is the smallest end-to-end use of the library's public API:
+This is the smallest end-to-end use of the public :mod:`repro.api` facade:
 
-1. pick an experiment scale (everything — dataset, NVDIMM, ULL-Flash — is
-   shrunk together so the run finishes in seconds),
-2. build the platforms by their paper-legend names,
-3. replay a Table III workload trace,
-4. compare throughput, execution-time breakdown and energy.
+1. open a :class:`repro.Session` at an experiment scale (everything —
+   dataset, NVDIMM, ULL-Flash — is shrunk together so the run finishes in
+   seconds),
+2. ``compare()`` the platforms by their paper-legend names on a Table III
+   workload,
+3. read throughput, execution-time breakdown and energy off the results.
 
-The runner is the parallel one: on a multi-core machine the four platform
-replays fan out over a process pool (see also ``python -m repro run``).
+The session fans the four platform replays out over a process pool on a
+multi-core machine (see also ``python -m repro run``).
 
 Run with::
 
@@ -19,24 +20,24 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExperimentScale, ParallelExperimentRunner
+from repro import ExperimentScale, Session
 
 
 def main() -> None:
     scale = ExperimentScale(capacity_scale=1 / 64, max_accesses=4_000)
-    runner = ParallelExperimentRunner(scale)
+    session = Session(scale)
     workload = "seqRd"
 
     print(f"Replaying workload {workload!r} "
-          f"({len(runner.trace(workload))} memory references)\n")
+          f"({len(session.trace(workload))} memory references)\n")
 
     header = (f"{'platform':12s} {'ops/s':>12s} {'total ms':>10s} "
               f"{'os %':>7s} {'ssd %':>7s} {'energy mJ':>10s}")
     print(header)
     print("-" * len(header))
 
-    experiment = runner.run_matrix(("mmap", "hams-LE", "hams-TE", "oracle"),
-                                   (workload,))
+    experiment = session.compare(("mmap", "hams-LE", "hams-TE", "oracle"),
+                                 (workload,))
     results = {}
     for platform in ("mmap", "hams-LE", "hams-TE", "oracle"):
         result = experiment.get(platform, workload)

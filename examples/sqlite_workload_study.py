@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ExperimentScale, ParallelExperimentRunner
+from repro import ExperimentScale, Session
 from repro.analysis.reporting import format_table
 from repro.workloads.registry import SQLITE_WORKLOADS
 
@@ -23,11 +23,11 @@ PLATFORMS = ["mmap", "flatflash-M", "optane-M", "hams-LE", "hams-TE", "oracle"]
 
 
 def main() -> None:
-    # The 6x5 matrix fans out over a process pool; this is the same preset
-    # the CLI exposes as `python -m repro run sqlite`.
-    runner = ParallelExperimentRunner(ExperimentScale(capacity_scale=1 / 64,
-                                                      max_accesses=3_000))
-    experiment = runner.run_matrix(PLATFORMS, SQLITE_WORKLOADS)
+    # The 6x5 matrix fans out over the session's process pool; this is the
+    # same preset the CLI exposes as `python -m repro run sqlite`.
+    session = Session(ExperimentScale(capacity_scale=1 / 64,
+                                      max_accesses=3_000))
+    experiment = session.compare(PLATFORMS, SQLITE_WORKLOADS)
 
     throughput = {
         workload: {platform: experiment.get(platform, workload)

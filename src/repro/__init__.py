@@ -10,15 +10,16 @@ model, the HAMS controller itself (baseline and advanced integrations,
 persist and extend modes), every baseline platform of the evaluation, and
 the twelve workloads of Table III.
 
-Quick start::
+Quick start (see :mod:`repro.api` for the full facade)::
 
-    from repro import ExperimentRunner, ExperimentScale
+    from repro import Session
 
-    runner = ExperimentRunner(ExperimentScale())
-    result = runner.run_one("hams-TE", "seqRd")
+    session = Session()
+    result = session.simulate("hams-TE", "seqRd")
     print(result.operations_per_second)
 """
 
+from .api import Session, compare, simulate, sweep
 from .config import (
     CPUConfig,
     DDRConfig,
@@ -34,7 +35,14 @@ from .config import (
 )
 from .analysis.experiments import ExperimentResult, ExperimentRunner
 from .core.hams_controller import HAMSAccessResult, HAMSController
-from .platforms.base import Platform, RunResult
+from .platforms.base import (
+    MemoryRequest,
+    MemoryRequestBatch,
+    MemoryServiceBatch,
+    MemoryServiceResult,
+    Platform,
+    RunResult,
+)
 from .platforms.registry import PLATFORM_NAMES, create_platform
 from .runner import ParallelExperimentRunner, RunSpec
 from .workloads.registry import (
@@ -44,10 +52,22 @@ from .workloads.registry import (
     get_workload,
     scale_system_config,
 )
+from .workloads.trace import AccessStream, MemoryAccess, WorkloadTrace
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "simulate",
+    "compare",
+    "sweep",
+    "AccessStream",
+    "MemoryAccess",
+    "WorkloadTrace",
+    "MemoryRequest",
+    "MemoryRequestBatch",
+    "MemoryServiceBatch",
+    "MemoryServiceResult",
     "CPUConfig",
     "DDRConfig",
     "EnergyConfig",

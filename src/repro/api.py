@@ -1,0 +1,192 @@
+"""The stable public facade of the reproduction.
+
+Everything a library user — the CLI, the figure benchmarks, the examples,
+out-of-tree scripts — needs to replay (platform x workload) experiments
+lives behind this one module:
+
+* :class:`Session` — owns the experiment scale, the scaled Table II system
+  configuration, the worker pool and the content-addressed run cache, and
+  exposes the replay verbs,
+* :func:`simulate` / :func:`compare` / :func:`sweep` — one-shot conveniences
+  that build a throwaway session,
+* :func:`platforms` / :func:`workloads` — the valid axis names.
+
+The facade is a thin, stable skin over the runner subsystem: a
+:class:`Session` fans work out over a process pool exactly like
+``python -m repro run`` does, every run is described by a picklable
+:class:`~repro.runner.specs.RunSpec`, and results come back as
+:class:`~repro.platforms.base.RunResult` records or
+:class:`~repro.analysis.experiments.ExperimentResult` matrices.  Reaching
+below it (``Platform``, ``WorkloadTrace``, the device models) remains
+supported for platform authors, but the names here are the ones the
+project promises to keep.
+
+Quick start::
+
+    from repro import Session
+
+    session = Session()
+    result = session.simulate("hams-TE", "seqRd")
+    print(result.operations_per_second)
+
+    experiment = session.compare(["mmap", "hams-TE", "oracle"], ["seqRd"])
+    print(experiment.mean_speedup("hams-TE", "mmap"))
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
+
+from .analysis.experiments import ExperimentResult
+from .config import SystemConfig
+from .platforms.base import RunResult
+from .platforms.registry import PLATFORM_NAMES, available_platforms
+from .runner.parallel import ParallelExperimentRunner
+from .runner.specs import RunSpec
+from .workloads.registry import ExperimentScale, all_workload_names
+from .workloads.trace import WorkloadTrace
+
+__all__ = [
+    "Session",
+    "simulate",
+    "compare",
+    "sweep",
+    "platforms",
+    "workloads",
+]
+
+
+def platforms(figure_order: bool = False) -> List[str]:
+    """Valid platform names: the full registry, or Figure 16 legend order."""
+    return list(PLATFORM_NAMES) if figure_order else available_platforms()
+
+
+def workloads() -> List[str]:
+    """Valid workload names, in Table III order."""
+    return all_workload_names()
+
+
+class Session:
+    """One configured experiment context: scale, config, pool, cache.
+
+    Parameters mirror the underlying
+    :class:`~repro.runner.parallel.ParallelExperimentRunner`: *scale*
+    shrinks instruction streams and capacities together (defaults to the
+    library scale), *base_config* is the unscaled Table II system,
+    *workers* sizes the process pool (``None``: ``$REPRO_WORKERS`` or the
+    CPU count), and *cache_dir* enables the content-addressed run cache.
+    """
+
+    def __init__(self, scale: Optional[ExperimentScale] = None,
+                 base_config: Optional[SystemConfig] = None, *,
+                 workers: Optional[int] = None,
+                 cache_dir: Optional[Path] = None,
+                 force: bool = False) -> None:
+        self._runner = ParallelExperimentRunner(
+            scale=scale, base_config=base_config, workers=workers,
+            cache_dir=cache_dir, force=force)
+
+    # -- context accessors ----------------------------------------------------------
+
+    @property
+    def runner(self) -> ParallelExperimentRunner:
+        """The underlying pool runner (cache statistics, advanced use)."""
+        return self._runner
+
+    @property
+    def scale(self) -> ExperimentScale:
+        return self._runner.scale
+
+    @property
+    def config(self) -> SystemConfig:
+        """The scaled system configuration every run of this session uses."""
+        return self._runner.config
+
+    @property
+    def workers(self) -> int:
+        return self._runner.workers
+
+    def trace(self, workload: str,
+              dataset_bytes_override: Optional[int] = None) -> WorkloadTrace:
+        """Build (and memoise) the columnar trace for one workload."""
+        return self._runner.trace(workload, dataset_bytes_override)
+
+    # -- replay verbs ---------------------------------------------------------------
+
+    def simulate(self, platform: str, workload: str, *,
+                 dataset_bytes_override: Optional[int] = None,
+                 config_overrides: Optional[Mapping[str, Mapping[str, Any]]]
+                 = None,
+                 platform_kwargs: Optional[Mapping[str, Any]] = None
+                 ) -> RunResult:
+        """Replay one workload on one platform and return its RunResult."""
+        return self._runner.run_spec(RunSpec(
+            platform=platform, workload=workload,
+            dataset_bytes_override=dataset_bytes_override,
+            config_overrides=dict(config_overrides or {}),
+            platform_kwargs=dict(platform_kwargs or {})))
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute explicit run specs, preserving input order."""
+        return self._runner.run_specs(specs)
+
+    def collect(self, specs: Sequence[RunSpec]) -> ExperimentResult:
+        """Execute specs and merge the runs into one ExperimentResult."""
+        return self._runner.collect(specs)
+
+    def compare(self, platforms: Iterable[str],
+                workloads: Iterable[str]) -> ExperimentResult:
+        """Replay the full (platform x workload) matrix."""
+        return self._runner.run_matrix(platforms, workloads)
+
+    def sweep(self, platform: str, workloads: Iterable[str],
+              section: str, field: str, values: Sequence[Any], *,
+              labels: Optional[Sequence[str]] = None) -> ExperimentResult:
+        """Sweep one config field of one platform across *values*.
+
+        Each value becomes one labelled run per workload (default label:
+        ``str(value)``), so the result is keyed ``(label, workload)`` —
+        the shape the Figure 20a page-size study plots.
+        """
+        values = list(values)
+        if labels is None:
+            labels = [str(value) for value in values]
+        labels = list(labels)
+        if len(labels) != len(values):
+            raise ValueError("labels must match values")
+        return self.collect([
+            RunSpec(platform=platform, workload=workload,
+                    config_overrides={section: {field: value}},
+                    label=label)
+            for workload in workloads
+            for value, label in zip(values, labels)
+        ])
+
+
+def _session(scale: Optional[ExperimentScale],
+             workers: Optional[int]) -> Session:
+    return Session(scale=scale, workers=workers)
+
+
+def simulate(platform: str, workload: str, *,
+             scale: Optional[ExperimentScale] = None,
+             workers: Optional[int] = None, **kwargs) -> RunResult:
+    """One-shot :meth:`Session.simulate` with a throwaway session."""
+    return _session(scale, workers).simulate(platform, workload, **kwargs)
+
+
+def compare(platforms: Iterable[str], workloads: Iterable[str], *,
+            scale: Optional[ExperimentScale] = None,
+            workers: Optional[int] = None) -> ExperimentResult:
+    """One-shot :meth:`Session.compare` with a throwaway session."""
+    return _session(scale, workers).compare(platforms, workloads)
+
+
+def sweep(platform: str, workloads: Iterable[str], section: str, field: str,
+          values: Sequence[Any], *, labels: Optional[Sequence[str]] = None,
+          scale: Optional[ExperimentScale] = None,
+          workers: Optional[int] = None) -> ExperimentResult:
+    """One-shot :meth:`Session.sweep` with a throwaway session."""
+    return _session(scale, workers).sweep(platform, workloads, section,
+                                          field, values, labels=labels)

@@ -12,9 +12,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..config import CacheConfig
+
+
+def _as_list(values) -> list:
+    """Plain-Python element list (fast scalar iteration over numpy columns)."""
+    return values.tolist() if isinstance(values, np.ndarray) else list(values)
 
 
 @dataclass
@@ -130,6 +137,57 @@ class CacheHierarchy:
         latency = self.l1.latency_ns + self.l2.latency_ns
         return CacheAccessResult(hit_level=None, latency_ns=latency,
                                  writeback=bool(victim_dirty))
+
+    def access_batch(self, addresses: Sequence[int],
+                     writes: Sequence[bool]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Filter a whole chunk of fine-grained references through the caches.
+
+        Performs exactly the lookup/fill sequence :meth:`access` performs per
+        reference — the cache state after the batch is indistinguishable from
+        the scalar walk — but returns two columnar arrays instead of one
+        result object per access: a boolean full-miss mask and the on-chip
+        latency of every reference.  Addresses are assumed non-negative (the
+        :class:`~repro.workloads.trace.AccessStream` validates this at
+        construction).
+        """
+        count = len(addresses)
+        miss = np.empty(count, dtype=bool)
+        latency = np.empty(count, dtype=np.float64)
+        l1, l2 = self.l1, self.l2
+        l1_latency = l1.latency_ns
+        full_latency = l1.latency_ns + l2.latency_ns
+        memory_accesses = 0
+        self.accesses += count
+        for index, (address, is_write) in enumerate(
+                zip(_as_list(addresses), _as_list(writes))):
+            if l1.lookup(address, is_write):
+                miss[index] = False
+                latency[index] = l1_latency
+                continue
+            if l2.lookup(address, is_write):
+                l1.fill(address, dirty=is_write)
+                miss[index] = False
+                latency[index] = full_latency
+                continue
+            memory_accesses += 1
+            l2.fill(address, dirty=is_write)
+            l1.fill(address, dirty=is_write)
+            miss[index] = True
+            latency[index] = full_latency
+        self.memory_accesses += memory_accesses
+        return miss, latency
+
+    def record_bypass(self, count: int = 1) -> None:
+        """Account *count* references that bypass L1/L2 entirely.
+
+        Page-granular references (the mmap microbenchmark) stream through
+        the hierarchy without reuse; the replay loop sends them straight
+        off-chip and records them here so hit/miss statistics stay honest
+        without the loop reaching into the counters by hand.
+        """
+        self.accesses += count
+        self.memory_accesses += count
 
     @property
     def miss_rate(self) -> float:

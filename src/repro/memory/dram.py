@@ -17,7 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+import numpy as np
+
 from ..config import DDRConfig
+from ..numerics import sequential_add
 
 
 @dataclass
@@ -94,6 +97,34 @@ class DRAMDevice:
         self.busy_ns += latency
         return DRAMAccessResult(latency_ns=latency, bytes_accessed=size_bytes,
                                 row_hit=row_hit)
+
+    def access_batch(self, sizes: np.ndarray,
+                     writes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`access`: one latency per (size, write) row.
+
+        Latency is a pure function of the access size (row hits assumed, as
+        in the scalar default), so the per-access latencies are filled per
+        unique size; the traffic counters and ``busy_ns`` are updated exactly
+        as the equivalent scalar sequence would update them (``busy_ns`` via
+        bit-exact sequential accumulation).
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        latency = np.empty(len(sizes), dtype=np.float64)
+        for size in np.unique(sizes):
+            size = int(size)
+            if size <= self.config.line_size:
+                cost = self.line_access_ns(True)
+            else:
+                cost = self.bulk_access_ns(size)
+            latency[sizes == size] = cost
+        write_count = int(np.count_nonzero(writes))
+        self.writes += write_count
+        self.reads += len(sizes) - write_count
+        self.bytes_written += int(sizes[writes].sum())
+        self.bytes_read += int(sizes[~writes].sum())
+        self.busy_ns = sequential_add(self.busy_ns, latency)
+        return latency
 
     @property
     def bytes_total(self) -> int:

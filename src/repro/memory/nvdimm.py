@@ -76,6 +76,19 @@ class NVDIMM:
                 "isolate the DRAM during backup/restore")
         return self.dram.access(size_bytes, is_write)
 
+    def access_batch(self, sizes, writes):
+        """Vectorized :meth:`access` over whole request columns.
+
+        Returns the per-access latency array; counters end up exactly as the
+        equivalent scalar access sequence would leave them (see
+        :meth:`~repro.memory.dram.DRAMDevice.access_batch`).
+        """
+        if self.state is not NVDIMMState.ONLINE:
+            raise RuntimeError(
+                f"NVDIMM access while {self.state.value}; the multiplexers "
+                "isolate the DRAM during backup/restore")
+        return self.dram.access_batch(sizes, writes)
+
     def line_access_ns(self) -> float:
         return self.dram.expected_line_access_ns()
 

@@ -1,0 +1,40 @@
+"""Bit-exact floating-point accumulation helpers.
+
+The batched replay loop (:mod:`repro.platforms.base`) promises results that
+are *bit-identical* to the legacy scalar loop, which accumulates every
+quantity with a plain left-to-right ``value += addend`` sequence.  Batched
+code therefore may not reassociate those additions: ``numpy.sum`` uses
+pairwise summation and ``n * addend`` collapses repeated adds, both of which
+round differently.
+
+``numpy``'s ``cumsum``/``add.accumulate`` is a strict sequential
+accumulation (every partial sum is materialised in order), so seeding it
+with the running value reproduces the scalar loop's rounding exactly:
+
+    fl(...fl(fl(start + a0) + a1)... + an)
+
+That identity is what :func:`sequential_add` provides, and what the golden
+equivalence tests in ``tests/test_batched_replay.py`` lock in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sequential_add"]
+
+
+def sequential_add(start: float, addends: np.ndarray) -> float:
+    """Fold *addends* into *start* exactly as ``for a: start += a`` would.
+
+    Returns a Python float equal bit-for-bit to the left-to-right scalar
+    accumulation.  ``addends`` must be a one-dimensional float64 array (or
+    convertible); an empty array returns *start* unchanged.
+    """
+    addends = np.asarray(addends, dtype=np.float64)
+    if addends.size == 0:
+        return float(start)
+    buffer = np.empty(addends.size + 1, dtype=np.float64)
+    buffer[0] = start
+    buffer[1:] = addends
+    return float(np.add.accumulate(buffer)[-1])

@@ -10,21 +10,42 @@ the headline claim.
 
 The replay loop is identical across platforms: compute instructions retire
 at the base CPI, fine-grained references filter through the on-chip caches,
-and what misses is handed to :meth:`Platform.service_memory_access`, the one
-method each platform implements differently.
+and what misses goes off-chip.  Two execution strategies produce
+bit-identical results:
+
+* the legacy **scalar** loop hands each miss to
+  :meth:`Platform.service_memory_access` one at a time, and
+* the default **batched** loop walks the trace's columnar
+  :class:`~repro.workloads.trace.AccessStream` chunk-at-a-time, filters each
+  chunk through the caches in one call, gathers the misses into a
+  :class:`MemoryRequestBatch` and hands the whole batch to
+  :meth:`Platform.service_batch`.
+
+``service_batch`` is the one new per-platform hook.  Its default
+implementation replays the batch through the scalar
+``service_memory_access`` hook while advancing the clock exactly as the
+scalar loop would (so clock- and history-dependent platforms — mmap, HAMS,
+FlatFlash, NVDIMM-C — are correct without any changes), and the analytic
+platforms override it with truly vectorized implementations.  All batched
+bookkeeping uses :func:`repro.numerics.sequential_add`, which reproduces the
+scalar loop's left-to-right floating-point rounding bit for bit — the
+equivalence is locked in by ``tests/test_batched_replay.py``.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
+
+import numpy as np
 
 from ..config import SystemConfig
 from ..energy.accounting import EnergyAccount, EnergyBreakdown
 from ..energy.models import EnergyModel
 from ..host.caches import CacheHierarchy
 from ..host.cpu import CPUModel
+from ..numerics import sequential_add
 from ..workloads.trace import WorkloadTrace
 
 
@@ -48,6 +69,161 @@ class MemoryServiceResult:
     def __post_init__(self) -> None:
         if self.latency_ns < 0 or self.os_ns < 0 or self.storage_ns < 0:
             raise ValueError("latencies cannot be negative")
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One off-chip memory request (the scalar view of a batch row)."""
+
+    address: int
+    size_bytes: int
+    is_write: bool
+    at_ns: float
+
+
+@dataclass
+class BatchTimeline:
+    """Exact clock-reconstruction data attached to a request batch.
+
+    ``addends`` is the full sequence of time increments the scalar replay
+    loop would apply to its ``now`` clock over the originating trace chunk —
+    compute phases, cache-hit latencies and one (initially placeholder) slot
+    per off-chip request.  ``service_slots[j]`` is the index of request
+    *j*'s slot: everything before it has already elapsed when the request
+    issues, so a sequential consumer can recover each request's exact issue
+    time, and the replay loop later fills the slots with the measured
+    service costs and folds the whole sequence into its clock.
+    """
+
+    addends: np.ndarray
+    service_slots: np.ndarray
+
+
+class MemoryRequestBatch:
+    """A columnar batch of off-chip memory requests.
+
+    ``addresses`` / ``sizes`` / ``writes`` are equal-length columns,
+    ``on_chip_ns`` is the on-chip (cache walk) latency already paid per
+    request, and ``start_ns`` is the replay clock when the batch was formed.
+    The optional :class:`BatchTimeline` lets :meth:`service_sequentially`
+    reproduce the scalar replay loop's per-request issue times exactly;
+    without it, requests are assumed back-to-back from ``start_ns``.
+    """
+
+    __slots__ = ("addresses", "sizes", "writes", "on_chip_ns", "start_ns",
+                 "timeline")
+
+    def __init__(self, addresses: np.ndarray, sizes: np.ndarray,
+                 writes: np.ndarray, on_chip_ns: Optional[np.ndarray] = None,
+                 start_ns: float = 0.0,
+                 timeline: Optional[BatchTimeline] = None) -> None:
+        self.addresses = np.asarray(addresses, dtype=np.int64)
+        self.sizes = np.asarray(sizes, dtype=np.int64)
+        self.writes = np.asarray(writes, dtype=bool)
+        if on_chip_ns is None:
+            on_chip_ns = np.zeros(len(self.addresses), dtype=np.float64)
+        self.on_chip_ns = np.asarray(on_chip_ns, dtype=np.float64)
+        self.start_ns = start_ns
+        self.timeline = timeline
+        if not (len(self.addresses) == len(self.sizes) == len(self.writes)
+                == len(self.on_chip_ns)):
+            raise ValueError("batch columns must be equal-length")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def request(self, index: int) -> MemoryRequest:
+        """Scalar view of one batch row (issue time = ``start_ns``)."""
+        return MemoryRequest(address=int(self.addresses[index]),
+                             size_bytes=int(self.sizes[index]),
+                             is_write=bool(self.writes[index]),
+                             at_ns=self.start_ns)
+
+    def __iter__(self) -> Iterator[MemoryRequest]:
+        return (self.request(index) for index in range(len(self)))
+
+    def service_sequentially(self, scalar_service) -> "MemoryServiceBatch":
+        """Drive *scalar_service* one request at a time, clock-exactly.
+
+        This is the default :meth:`Platform.service_batch` engine: with a
+        timeline it interleaves the chunk's compute/cache-hit time addends
+        with the requests so every call sees the exact ``at_ns`` the scalar
+        replay loop would have passed; without one, each request issues as
+        soon as the previous one completes.
+        """
+        count = len(self)
+        latency = np.empty(count, dtype=np.float64)
+        os_ns = np.empty(count, dtype=np.float64)
+        storage_ns = np.empty(count, dtype=np.float64)
+        addresses = self.addresses.tolist()
+        sizes = self.sizes.tolist()
+        writes = self.writes.tolist()
+        on_chip = self.on_chip_ns.tolist()
+        now = self.start_ns
+        if self.timeline is None:
+            for j in range(count):
+                result = scalar_service(addresses[j], sizes[j], writes[j],
+                                        now)
+                latency[j] = result.latency_ns
+                os_ns[j] = result.os_ns
+                storage_ns[j] = result.storage_ns
+                now += (((on_chip[j] + result.latency_ns) + result.os_ns)
+                        + result.storage_ns)
+        else:
+            addends = self.timeline.addends.tolist()
+            slots = self.timeline.service_slots.tolist()
+            cursor = 0
+            for j in range(count):
+                slot = slots[j]
+                while cursor < slot:
+                    now += addends[cursor]
+                    cursor += 1
+                result = scalar_service(addresses[j], sizes[j], writes[j],
+                                        now)
+                latency[j] = result.latency_ns
+                os_ns[j] = result.os_ns
+                storage_ns[j] = result.storage_ns
+                now += (((on_chip[j] + result.latency_ns) + result.os_ns)
+                        + result.storage_ns)
+                cursor = slot + 1
+        return MemoryServiceBatch(latency_ns=latency, os_ns=os_ns,
+                                  storage_ns=storage_ns)
+
+
+class MemoryServiceBatch:
+    """Columnar result of servicing a :class:`MemoryRequestBatch`.
+
+    The three columns mirror :class:`MemoryServiceResult`; ``os_ns`` /
+    ``storage_ns`` default to zeros (the common case for hardware-managed
+    platforms).
+    """
+
+    __slots__ = ("latency_ns", "os_ns", "storage_ns")
+
+    def __init__(self, latency_ns: np.ndarray,
+                 os_ns: Optional[np.ndarray] = None,
+                 storage_ns: Optional[np.ndarray] = None) -> None:
+        self.latency_ns = np.asarray(latency_ns, dtype=np.float64)
+        count = len(self.latency_ns)
+        self.os_ns = (np.zeros(count, dtype=np.float64) if os_ns is None
+                      else np.asarray(os_ns, dtype=np.float64))
+        self.storage_ns = (np.zeros(count, dtype=np.float64)
+                           if storage_ns is None
+                           else np.asarray(storage_ns, dtype=np.float64))
+        if not (len(self.os_ns) == len(self.storage_ns) == count):
+            raise ValueError("result columns must be equal-length")
+        for column in (self.latency_ns, self.os_ns, self.storage_ns):
+            if count and float(column.min()) < 0:
+                raise ValueError("latencies cannot be negative")
+
+    def __len__(self) -> int:
+        return len(self.latency_ns)
+
+    def result(self, index: int) -> MemoryServiceResult:
+        """Scalar view of one result row."""
+        return MemoryServiceResult(latency_ns=float(self.latency_ns[index]),
+                                   os_ns=float(self.os_ns[index]),
+                                   storage_ns=float(self.storage_ns[index]))
 
 
 @dataclass
@@ -103,6 +279,13 @@ class Platform(abc.ABC):
     #: Human-readable platform name (matches the paper's legend labels).
     name: str = "abstract"
 
+    #: Default replay strategy; ``run(..., execution="scalar")`` forces the
+    #: legacy per-access loop (the two are bit-identical).
+    replay_mode: str = "batched"
+
+    #: Accesses handed to the cache filter / service batch per chunk.
+    replay_chunk_size: int = 4096
+
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.cpu = CPUModel(config.cpu)
@@ -114,6 +297,20 @@ class Platform(abc.ABC):
     def service_memory_access(self, address: int, size_bytes: int,
                               is_write: bool, at_ns: float) -> MemoryServiceResult:
         """Resolve one off-chip memory access starting at *at_ns*."""
+
+    def service_batch(self, batch: MemoryRequestBatch) -> MemoryServiceBatch:
+        """Resolve a whole batch of off-chip memory requests.
+
+        The default drives :meth:`service_memory_access` one request at a
+        time while advancing the clock exactly as the scalar replay loop
+        would (via the batch's timeline), so platforms whose device timing
+        depends on the clock or on request history — mmap, HAMS, FlatFlash,
+        NVDIMM-C, the flash-backed bypass strategies — inherit correct and
+        bit-identical behaviour without any changes.  Platforms whose
+        service cost is clock-independent (oracle, Optane App Direct, the
+        NVDIMM bypass) override this with truly vectorized implementations.
+        """
+        return batch.service_sequentially(self.service_memory_access)
 
     @abc.abstractmethod
     def collect_energy(self, account: EnergyAccount) -> None:
@@ -134,15 +331,35 @@ class Platform(abc.ABC):
 
     # -- the shared replay loop -------------------------------------------------------
 
-    def run(self, trace: WorkloadTrace) -> RunResult:
-        """Replay *trace* and return the full measurement record."""
+    def run(self, trace: WorkloadTrace, *,
+            execution: Optional[str] = None) -> RunResult:
+        """Replay *trace* and return the full measurement record.
+
+        ``execution`` selects the replay strategy: ``"batched"`` (the
+        default) or ``"scalar"``.  Both produce bit-identical results; the
+        scalar loop exists as the reference implementation and for the
+        equivalence tests and throughput benchmarks that compare the two.
+        """
+        mode = execution if execution is not None else self.replay_mode
+        if mode == "batched":
+            return self._run_batched(trace)
+        if mode == "scalar":
+            return self._run_scalar(trace)
+        raise ValueError(f"unknown execution mode {mode!r}; "
+                         f"expected 'batched' or 'scalar'")
+
+    def _run_scalar(self, trace: WorkloadTrace) -> RunResult:
+        """The reference per-access replay loop."""
         self.prepare(trace)
         now = 0.0
         compute_per_access = trace.compute_instructions_per_access
         cache_line = self.config.caches.line_size
         offchip = 0
+        stream = trace.stream
 
-        for access in trace.accesses:
+        for address, size_bytes, is_write in zip(stream.addresses.tolist(),
+                                                 stream.sizes.tolist(),
+                                                 stream.writes.tolist()):
             # Compute phase between memory references.
             compute_instructions = int(compute_per_access)
             if compute_instructions:
@@ -152,27 +369,132 @@ class Platform(abc.ABC):
             # through the caches without reuse, so they are treated as
             # off-chip accesses directly; fine-grained references filter
             # through L1/L2 first.
-            if access.size_bytes <= cache_line:
-                cache_result = self.caches.access(access.address, access.is_write)
+            if size_bytes <= cache_line:
+                cache_result = self.caches.access(address, is_write)
                 if not cache_result.is_miss:
                     now += self.cpu.execute_memory(cache_result.latency_ns)
                     continue
                 on_chip_ns = cache_result.latency_ns
             else:
-                self.caches.memory_accesses += 1
-                self.caches.accesses += 1
+                self.caches.record_bypass()
                 on_chip_ns = self.config.caches.l2_latency_ns
 
             offchip += 1
-            service = self.service_memory_access(access.address,
-                                                 access.size_bytes,
-                                                 access.is_write, now)
+            service = self.service_memory_access(address, size_bytes,
+                                                 is_write, now)
             stall_ns = on_chip_ns + service.latency_ns
             self.cpu.execute_memory(stall_ns)
             self.cpu.charge_os(service.os_ns)
             self.cpu.charge_storage(service.storage_ns)
             now += stall_ns + service.os_ns + service.storage_ns
 
+        return self._build_result(trace, now, offchip)
+
+    def _run_batched(self, trace: WorkloadTrace) -> RunResult:
+        """Chunk-at-a-time replay over the trace's columnar stream.
+
+        Per chunk: one cache-filter pass classifies every reference, the
+        misses form a :class:`MemoryRequestBatch` resolved by one
+        :meth:`service_batch` call, and all CPU/clock accounting folds in
+        through :func:`~repro.numerics.sequential_add`, which reproduces the
+        scalar loop's floating-point rounding exactly.
+        """
+        self.prepare(trace)
+        account = self.cpu.account
+        compute_instructions = int(trace.compute_instructions_per_access)
+        # Same expression execute_compute evaluates, hoisted out of the loop.
+        compute_ns = (compute_instructions * self.cpu.config.base_cpi
+                      * self.cpu.cycle_ns)
+        cache_line = self.config.caches.line_size
+        l2_latency = self.config.caches.l2_latency_ns
+        now = 0.0
+        offchip = 0
+
+        for chunk in trace.stream.chunks(self.replay_chunk_size):
+            count = len(chunk)
+            # y[i] starts as the on-chip latency of reference i and ends as
+            # its memory-stall addend (hits keep the cache latency, misses
+            # are overwritten with on-chip + service latency).
+            miss, y = self._filter_chunk(chunk, cache_line, l2_latency)
+            miss_indices = np.flatnonzero(miss)
+            misses = len(miss_indices)
+
+            # The scalar loop advances its clock with one addend per access
+            # (plus one compute addend when the workload has a compute
+            # phase); reproduce that exact sequence, with the miss slots
+            # filled in after the batch resolves.
+            if compute_instructions:
+                addends = np.empty(2 * count, dtype=np.float64)
+                addends[0::2] = compute_ns
+                addends[1::2] = y
+                slots = 2 * miss_indices + 1
+            else:
+                addends = y.copy()
+                slots = miss_indices
+
+            if misses:
+                on_chip = y[miss_indices].copy()
+                batch = MemoryRequestBatch(
+                    addresses=chunk.addresses[miss_indices],
+                    sizes=chunk.sizes[miss_indices],
+                    writes=chunk.writes[miss_indices],
+                    on_chip_ns=on_chip,
+                    start_ns=now,
+                    timeline=BatchTimeline(addends=addends,
+                                           service_slots=slots))
+                results = self.service_batch(batch)
+                stall = on_chip + results.latency_ns
+                addends[slots] = (stall + results.os_ns) + results.storage_ns
+                y[miss_indices] = stall
+                account.os_ns = sequential_add(account.os_ns, results.os_ns)
+                account.storage_ns = sequential_add(account.storage_ns,
+                                                    results.storage_ns)
+                offchip += misses
+
+            now = sequential_add(now, addends)
+            account.memory_stall_ns = sequential_add(account.memory_stall_ns,
+                                                     y)
+            if compute_instructions:
+                account.compute_ns = sequential_add(
+                    account.compute_ns,
+                    np.full(count, compute_ns, dtype=np.float64))
+                account.instructions += count * compute_instructions
+            account.instructions += count
+            account.memory_instructions += count
+
+        return self._build_result(trace, now, offchip)
+
+    def _filter_chunk(self, chunk, cache_line: int, l2_latency: float):
+        """Classify one chunk: full-miss mask + on-chip latency per access."""
+        sizes = chunk.sizes
+        count = len(chunk)
+        fine = sizes <= cache_line
+        if fine.all():
+            return self.caches.access_batch(chunk.addresses, chunk.writes)
+        if not fine.any():
+            self.caches.record_bypass(count)
+            return (np.ones(count, dtype=bool),
+                    np.full(count, l2_latency, dtype=np.float64))
+        # Mixed granularity inside one chunk (not produced by the current
+        # generators): fall back to an order-preserving per-access walk.
+        miss = np.empty(count, dtype=bool)
+        latency = np.empty(count, dtype=np.float64)
+        for index, (address, size_bytes, is_write) in enumerate(
+                zip(chunk.addresses.tolist(), sizes.tolist(),
+                    chunk.writes.tolist())):
+            if size_bytes <= cache_line:
+                result = self.caches.access(address, is_write)
+                miss[index] = result.is_miss
+                latency[index] = result.latency_ns
+            else:
+                self.caches.record_bypass()
+                miss[index] = True
+                latency[index] = l2_latency
+        return miss, latency
+
+    def _build_result(self, trace: WorkloadTrace, now: float,
+                      offchip: int) -> RunResult:
+        """Finalise accounting and energy into the RunResult record."""
         account = self.cpu.account
         total_ns = max(now, account.total_ns)
 

@@ -24,9 +24,15 @@ from ..flash.ssd import SSD
 from ..host.os_stack import PageCache
 from ..interconnect.pcie import PCIeLink
 from ..memory.nvdimm import NVDIMM
+from ..numerics import sequential_add
 from ..units import KB, MB
 from ..workloads.trace import WorkloadTrace
-from .base import MemoryServiceResult, Platform
+from .base import (
+    MemoryRequestBatch,
+    MemoryServiceBatch,
+    MemoryServiceResult,
+    Platform,
+)
 
 _PAGE = KB(4)
 
@@ -76,6 +82,21 @@ class BypassPlatform(Platform):
         if self.strategy == "ull-buff":
             self.page_buffer.install(page, dirty=is_write)
         return MemoryServiceResult(latency_ns=latency)
+
+    def service_batch(self, batch: MemoryRequestBatch) -> MemoryServiceBatch:
+        """Vectorized service for the all-NVDIMM strategy.
+
+        ``nvdimm`` bypass is clock-independent DRAM, so the whole batch
+        resolves in one vectorized call.  The ``ull`` / ``ull-buff``
+        strategies put a (queued, history-dependent) flash device and a
+        stateful page buffer on the load/store path, so they use the exact
+        sequential default.
+        """
+        if self.strategy != "nvdimm":
+            return super().service_batch(batch)
+        latency = self.nvdimm.access_batch(batch.sizes, batch.writes)
+        self._nvdimm_busy_ns = sequential_add(self._nvdimm_busy_ns, latency)
+        return MemoryServiceBatch(latency_ns=latency)
 
     def collect_energy(self, account: EnergyAccount) -> None:
         account.charge_nvdimm(active_ns=self._nvdimm_busy_ns,

@@ -10,6 +10,11 @@ the effective cache is small (Section VII).
 ``flatflash-P`` keeps everything on the device (persistent but slow: the
 paper quotes ~4.8 us per 64 B access).  ``flatflash-M`` promotes hot pages
 into host DRAM, trading persistence for performance.
+
+Batched replay note: the SSD-internal cache, the promotion tracker and the
+flash channel timing make accesses order- and clock-dependent, so both
+variants rely on the base class's exact sequential
+:meth:`~repro.platforms.base.Platform.service_batch` fallback.
 """
 
 from __future__ import annotations

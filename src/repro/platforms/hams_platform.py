@@ -9,6 +9,11 @@ From the platform's point of view HAMS is just memory: every off-chip
 reference is handed to the :class:`~repro.core.hams_controller.HAMSController`
 and the full latency is charged to the application (the paper's Figure 17
 classifies HAMS storage accesses as LD/ST latency, not as OS or SSD time).
+
+Batched replay note: the controller's tag array, eviction journal and
+ULL-Flash queues make each access depend on request order and issue time,
+so the platform relies on the base class's exact sequential
+:meth:`~repro.platforms.base.Platform.service_batch` fallback.
 """
 
 from __future__ import annotations

@@ -9,6 +9,11 @@ DRAM speed; evictions of dirty pages go back down the same stack.
 
 The SSD behind the file is configurable (``ull-flash``, ``nvme-ssd`` or
 ``sata-ssd``) which is exactly the comparison of Figure 6.
+
+Batched replay note: page-cache state, readahead (which keys on fault
+adjacency) and SSD queueing make every fault order- and clock-dependent, so
+this platform relies on the base class's exact sequential
+:meth:`~repro.platforms.base.Platform.service_batch` fallback.
 """
 
 from __future__ import annotations

@@ -25,7 +25,15 @@ _PAGE = KB(4)
 
 
 class NvdimmCPlatform(Platform):
-    """DRAM-cached flash DIMM with refresh-window-limited migration."""
+    """DRAM-cached flash DIMM with refresh-window-limited migration.
+
+    The platform deliberately keeps the base class's exact sequential
+    :meth:`~repro.platforms.base.Platform.service_batch`: its DRAM cache is
+    a stateful LRU whose hit/miss interleaving, and its migration reads'
+    dependence on the request clock and SSD channel history, make every
+    request order- and time-dependent — the properties the vectorized
+    overrides (oracle, Optane App Direct, NVDIMM bypass) are free of.
+    """
 
     name = "nvdimm-C"
 

@@ -19,7 +19,12 @@ from ..host.os_stack import PageCache
 from ..memory.nvdimm import NVDIMM
 from ..memory.optane import OptaneDCPMM
 from ..units import KB
-from .base import MemoryServiceResult, Platform
+from .base import (
+    MemoryRequestBatch,
+    MemoryServiceBatch,
+    MemoryServiceResult,
+    Platform,
+)
 
 _CACHE_PAGE = KB(4)
 
@@ -69,6 +74,25 @@ class OptanePlatform(Platform):
         self._dram_busy_ns += served.latency_ns
         latency += served.latency_ns
         return MemoryServiceResult(latency_ns=latency)
+
+    def service_batch(self, batch: MemoryRequestBatch) -> MemoryServiceBatch:
+        """Vectorized App Direct service; Memory mode keeps the fallback.
+
+        In App Direct mode the media latency is clock-independent, so one
+        :meth:`~repro.memory.optane.OptaneDCPMM.access_batch` call resolves
+        the whole batch (the XPBuffer state machine runs inside it, in
+        request order).  Memory mode fronts the media with a stateful LRU
+        DRAM cache whose hit/miss interleaving is inherently sequential, so
+        it uses the exact sequential default.
+        """
+        if self.dram_cache_enabled:
+            return super().service_batch(batch)
+        latency = self.optane.access_batch(batch.sizes, batch.writes)
+        if batch.writes.any():
+            # App Direct persistence: clwb + sfence on the store path.
+            latency[batch.writes] += \
+                self.config.optane.persist_write_overhead_ns
+        return MemoryServiceBatch(latency_ns=latency)
 
     def collect_energy(self, account: EnergyAccount) -> None:
         if self.dram is not None:

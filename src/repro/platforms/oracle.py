@@ -15,8 +15,14 @@ from ..config import SystemConfig
 from ..energy.accounting import EnergyAccount
 from ..energy.models import EnergyModel
 from ..memory.nvdimm import NVDIMM
+from ..numerics import sequential_add
 from ..units import GB
-from .base import MemoryServiceResult, Platform
+from .base import (
+    MemoryRequestBatch,
+    MemoryServiceBatch,
+    MemoryServiceResult,
+    Platform,
+)
 
 
 class OraclePlatform(Platform):
@@ -42,6 +48,18 @@ class OraclePlatform(Platform):
         result = self.nvdimm.access(size_bytes, is_write)
         self._nvdimm_busy_ns += result.latency_ns
         return MemoryServiceResult(latency_ns=result.latency_ns)
+
+    def service_batch(self, batch: MemoryRequestBatch) -> MemoryServiceBatch:
+        """Vectorized service: DRAM latency is clock-independent.
+
+        One :meth:`~repro.memory.nvdimm.NVDIMM.access_batch` call resolves
+        the whole batch; the busy-time counter folds in with bit-exact
+        sequential accumulation so batched and scalar replay agree to the
+        last ulp.
+        """
+        latency = self.nvdimm.access_batch(batch.sizes, batch.writes)
+        self._nvdimm_busy_ns = sequential_add(self._nvdimm_busy_ns, latency)
+        return MemoryServiceBatch(latency_ns=latency)
 
     def collect_energy(self, account: EnergyAccount) -> None:
         account.charge_nvdimm(active_ns=self._nvdimm_busy_ns,

@@ -28,6 +28,13 @@ from .parallel import (
     resolve_worker_count,
 )
 from .presets import SMOKE_SCALE, ExperimentPreset, get_preset, preset_names
+from .regression import (
+    DEFAULT_THRESHOLD,
+    DiffEntry,
+    DiffReport,
+    diff_artifacts,
+    diff_payloads,
+)
 from .specs import RunSpec, apply_config_overrides, matrix_specs
 
 __all__ = [
@@ -50,4 +57,9 @@ __all__ = [
     "RunSpec",
     "apply_config_overrides",
     "matrix_specs",
+    "DEFAULT_THRESHOLD",
+    "DiffEntry",
+    "DiffReport",
+    "diff_artifacts",
+    "diff_payloads",
 ]

@@ -16,6 +16,12 @@ Subcommands
 ``report [EXPERIMENT ...]``
     Re-read previously written artifacts and print their summaries without
     re-running anything (what CI does after downloading artifacts).
+
+``report --diff BASELINE CANDIDATE [--threshold FRACTION]``
+    Compare two artifact files run by run and exit non-zero when any run's
+    throughput drops by more than the relative threshold (or disappears).
+    CI uses this as its perf-regression gate: a committed baseline artifact
+    versus the fresh smoke run.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.experiments import ExperimentResult
 from ..analysis.reporting import format_table
+from ..api import Session
 from ..platforms.registry import PLATFORM_NAMES, available_platforms
 from ..workloads.registry import ExperimentScale, all_workload_names
 from .artifacts import (
@@ -36,8 +43,8 @@ from .artifacts import (
     load_experiment_artifact,
     write_experiment_artifact,
 )
-from .parallel import ParallelExperimentRunner, resolve_worker_count
 from .presets import SMOKE_SCALE, ExperimentPreset, get_preset, preset_names
+from .regression import DEFAULT_THRESHOLD, diff_artifacts
 
 DEFAULT_OUTPUT_DIR = Path("benchmarks") / "results"
 
@@ -99,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output-dir", type=Path,
                         default=DEFAULT_OUTPUT_DIR,
                         help="directory holding the artifacts")
+    report.add_argument("--diff", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+                        type=Path, default=None,
+                        help="compare two artifact files; exit non-zero on "
+                             "a throughput regression past the threshold")
+    report.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="relative regression tolerance for --diff "
+                             f"(default: {DEFAULT_THRESHOLD})")
     report.set_defaults(handler=cmd_report)
 
     return parser
@@ -186,34 +201,33 @@ def cmd_run(args: argparse.Namespace) -> int:
         cache_dir = args.output_dir / "cache"
 
     try:
-        runner = ParallelExperimentRunner(
-            scale=scale, workers=args.workers, cache_dir=cache_dir,
-            force=args.force)
+        session = Session(scale=scale, workers=args.workers,
+                          cache_dir=cache_dir, force=args.force)
     except ValueError as error:  # e.g. a malformed $REPRO_WORKERS
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    cache = session.runner.cache
     for preset in presets:
         started = time.perf_counter()
-        hits_before, misses_before = runner.cache.hits, runner.cache.misses
+        hits_before, misses_before = cache.hits, cache.misses
         try:
-            experiment = runner.run_matrix(preset.platforms,
-                                           preset.workloads)
+            experiment = session.compare(preset.platforms, preset.workloads)
         except ValueError as error:
             # Unknown platform/workload names surface here (ad-hoc
             # --platforms/--workloads matrices are not validated up front).
             print(f"error: {error}", file=sys.stderr)
             return 2
         elapsed = time.perf_counter() - started
-        hits = runner.cache.hits - hits_before
-        misses = runner.cache.misses - misses_before
+        hits = cache.hits - hits_before
+        misses = cache.misses - misses_before
         path = write_experiment_artifact(
-            args.output_dir, preset.name, experiment, runner.config,
+            args.output_dir, preset.name, experiment, session.config,
             meta={
                 "figure": preset.figure,
                 "description": preset.description,
                 "baseline": preset.baseline,
-                "workers": runner.workers,
+                "workers": session.workers,
                 "elapsed_s": elapsed,
                 "cache_hits": hits,
                 "cache_misses": misses,
@@ -223,7 +237,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(_summarise(experiment, preset.name, preset.baseline))
             print()
         print(f"{preset.name}: {preset.run_count} runs in {elapsed:.2f}s "
-              f"({runner.workers} workers, {hits} cached) -> {path}")
+              f"({session.workers} workers, {hits} cached) -> {path}")
     return 0
 
 
@@ -249,6 +263,17 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.diff is not None:
+        baseline_path, candidate_path = args.diff
+        try:
+            report = diff_artifacts(baseline_path, candidate_path,
+                                    threshold=args.threshold)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"error: cannot diff artifacts ({error})", file=sys.stderr)
+            return 2
+        print(report.format())
+        return 0 if report.passed else 1
+
     directory = args.output_dir
     # Explicitly named artifacts must load (errors are reported); under the
     # default glob, foreign JSON sharing the directory — the benchmarks'

@@ -1,0 +1,121 @@
+"""Artifact diffing: the ``repro report --diff`` perf-regression gate.
+
+Two experiment artifacts (see :mod:`repro.runner.artifacts`) are compared
+run by run on their throughput metric.  The replay is deterministic, so a
+genuine re-run of unchanged code reproduces the baseline bit for bit; any
+relative drop beyond the threshold therefore means the *code* changed the
+modelled performance, which is exactly what the CI gate (a committed
+baseline artifact vs. a fresh smoke run) is there to catch.  Improvements
+and sub-threshold drift are reported but do not fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from .artifacts import load_experiment_artifact
+
+#: Default relative-regression tolerance (2 %).
+DEFAULT_THRESHOLD = 0.02
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One (platform, workload) run present in both artifact sets."""
+
+    platform: str
+    workload: str
+    baseline: float
+    candidate: float
+
+    @property
+    def relative_change(self) -> float:
+        """Candidate over baseline, minus one (negative = slower)."""
+        if self.baseline == 0:
+            return 0.0 if self.candidate == 0 else float("inf")
+        return self.candidate / self.baseline - 1.0
+
+
+@dataclass
+class DiffReport:
+    """Outcome of comparing a candidate artifact against a baseline."""
+
+    baseline_name: str
+    candidate_name: str
+    threshold: float
+    entries: List[DiffEntry] = field(default_factory=list)
+    #: Runs present in the baseline but missing from the candidate.
+    missing: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        """Entries whose relative drop exceeds the threshold."""
+        return [entry for entry in self.entries
+                if entry.relative_change < -self.threshold]
+
+    @property
+    def passed(self) -> bool:
+        """True when nothing regressed and no baseline run disappeared."""
+        return not self.regressions and not self.missing
+
+    def format(self) -> str:
+        """Human-readable summary table plus the verdict line."""
+        lines = [f"diff: {self.candidate_name} vs baseline "
+                 f"{self.baseline_name} "
+                 f"(threshold {self.threshold:.1%})"]
+        header = (f"{'platform':14s} {'workload':9s} {'baseline':>14s} "
+                  f"{'candidate':>14s} {'change':>9s}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for entry in sorted(self.entries,
+                            key=lambda e: e.relative_change):
+            marker = " <-- REGRESSION" \
+                if entry.relative_change < -self.threshold else ""
+            lines.append(
+                f"{entry.platform:14s} {entry.workload:9s} "
+                f"{entry.baseline:14.1f} {entry.candidate:14.1f} "
+                f"{entry.relative_change:+9.2%}{marker}")
+        for platform, workload in self.missing:
+            lines.append(f"{platform:14s} {workload:9s} "
+                         f"{'(missing in candidate)':>39s} <-- REGRESSION")
+        verdict = ("PASS" if self.passed else
+                   f"FAIL ({len(self.regressions)} regression(s), "
+                   f"{len(self.missing)} missing run(s))")
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def _runs_by_key(payload: Dict[str, Any]) -> Dict[Tuple[str, str], float]:
+    return {(run["platform_key"], run["workload_key"]):
+            run["operations_per_second"]
+            for run in payload["runs"]}
+
+
+def diff_payloads(baseline: Dict[str, Any], candidate: Dict[str, Any],
+                  threshold: float = DEFAULT_THRESHOLD) -> DiffReport:
+    """Compare two loaded experiment artifact payloads."""
+    if threshold < 0:
+        raise ValueError("threshold cannot be negative")
+    report = DiffReport(baseline_name=baseline.get("experiment", "baseline"),
+                        candidate_name=candidate.get("experiment",
+                                                     "candidate"),
+                        threshold=threshold)
+    candidate_runs = _runs_by_key(candidate)
+    for key, baseline_value in sorted(_runs_by_key(baseline).items()):
+        if key not in candidate_runs:
+            report.missing.append(key)
+            continue
+        report.entries.append(DiffEntry(platform=key[0], workload=key[1],
+                                        baseline=baseline_value,
+                                        candidate=candidate_runs[key]))
+    return report
+
+
+def diff_artifacts(baseline_path: Path, candidate_path: Path,
+                   threshold: float = DEFAULT_THRESHOLD) -> DiffReport:
+    """Load two artifact files and compare them."""
+    return diff_payloads(load_experiment_artifact(Path(baseline_path)),
+                         load_experiment_artifact(Path(candidate_path)),
+                         threshold=threshold)

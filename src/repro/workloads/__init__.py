@@ -18,7 +18,7 @@ the footprint-to-NVDIMM ratio (and therefore every hit rate) is preserved at
 laptop scale.
 """
 
-from .trace import MemoryAccess, WorkloadTrace
+from .trace import AccessStream, MemoryAccess, WorkloadTrace
 from .generators import (
     AccessPatternGenerator,
     HotspotPattern,
@@ -41,6 +41,7 @@ from .registry import (
 )
 
 __all__ = [
+    "AccessStream",
     "MemoryAccess",
     "WorkloadTrace",
     "AccessPatternGenerator",

@@ -21,6 +21,8 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from .trace import AccessStream
+
 
 class AccessPatternGenerator(abc.ABC):
     """Produces a stream of byte addresses within ``[0, dataset_bytes)``."""
@@ -38,6 +40,24 @@ class AccessPatternGenerator(abc.ABC):
     @abc.abstractmethod
     def addresses(self, count: int) -> np.ndarray:
         """Return *count* starting addresses (aligned to the access size)."""
+
+    def stream(self, count: int, write_fraction: float = 0.0,
+               write_rng: Optional[np.random.Generator] = None
+               ) -> AccessStream:
+        """Build a columnar :class:`~repro.workloads.trace.AccessStream`.
+
+        The addresses come from :meth:`addresses`; ``write_fraction`` of the
+        accesses (drawn from *write_rng*, defaulting to a generator seeded
+        with ``seed + 1000``) are stores.  This is the native construction
+        path — no per-access record objects are ever created.
+        """
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        addresses = self.addresses(count)
+        if write_rng is None:
+            write_rng = np.random.default_rng(self.seed + 1000)
+        writes = write_rng.random(count) < write_fraction
+        return AccessStream.from_arrays(addresses, self.access_size, writes)
 
     @property
     def slots(self) -> int:

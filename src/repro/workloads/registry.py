@@ -30,7 +30,7 @@ from .generators import (
     StridedPattern,
     ZipfianPattern,
 )
-from .trace import MemoryAccess, WorkloadTrace
+from .trace import AccessStream, MemoryAccess, WorkloadTrace
 
 
 @dataclass(frozen=True)
@@ -231,23 +231,17 @@ def build_trace(name: str, scale: Optional[ExperimentScale] = None,
                        / (1.0 + spec.compute_instructions_per_access))
     access_count = min(scale.max_accesses, max(scale.min_accesses, raw_accesses))
 
-    generator = _pattern_generator(spec, dataset_bytes, scale.seed)
-    addresses = generator.addresses(access_count)
-
     import numpy as np
 
-    write_rng = np.random.default_rng(scale.seed + 1000)
-    writes = write_rng.random(access_count) < spec.write_fraction
-
-    accesses = [
-        MemoryAccess(address=int(address), size_bytes=spec.access_size_bytes,
-                     is_write=bool(is_write))
-        for address, is_write in zip(addresses, writes)
-    ]
+    # The stream is built columnar end-to-end: generator addresses and the
+    # write mask stay numpy arrays, no per-access record objects exist.
+    generator = _pattern_generator(spec, dataset_bytes, scale.seed)
+    stream = generator.stream(access_count, spec.write_fraction,
+                              np.random.default_rng(scale.seed + 1000))
     return WorkloadTrace(
         name=spec.name,
         suite=spec.suite,
-        accesses=accesses,
+        accesses=stream,
         dataset_bytes=dataset_bytes,
         compute_instructions_per_access=spec.compute_instructions_per_access,
         accesses_per_operation=spec.accesses_per_operation,

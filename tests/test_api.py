@@ -1,0 +1,104 @@
+"""The public repro.api facade: Session and the one-shot conveniences."""
+
+import pytest
+
+import repro
+from repro.api import Session, compare, platforms, simulate, sweep, workloads
+from repro.platforms.registry import PLATFORM_NAMES, available_platforms
+from repro.runner.specs import RunSpec
+from repro.units import KB
+from repro.workloads.registry import ExperimentScale, all_workload_names
+
+#: Tiny scale so the facade tests run in milliseconds per replay.
+SCALE = ExperimentScale(capacity_scale=1 / 256, min_accesses=100,
+                        max_accesses=200)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(SCALE, workers=1)
+
+
+class TestSession:
+    def test_simulate_matches_runner(self, session):
+        result = session.simulate("oracle", "seqRd")
+        reference = session.runner.run_one("oracle", "seqRd")
+        assert result == reference
+        assert result.platform == "oracle"
+        assert result.operations_per_second > 0
+
+    def test_compare_builds_full_matrix(self, session):
+        experiment = session.compare(["mmap", "oracle"], ["seqRd", "update"])
+        assert set(experiment.results) == {
+            ("mmap", "seqRd"), ("mmap", "update"),
+            ("oracle", "seqRd"), ("oracle", "update")}
+        assert experiment.mean_speedup("oracle", "mmap") > 1.0
+
+    def test_sweep_labels_runs(self, session):
+        experiment = session.sweep("hams-TE", ["update"], "hams",
+                                   "mos_page_bytes", [KB(4), KB(128)],
+                                   labels=["4KB", "128KB"])
+        assert sorted(experiment.platforms()) == ["128KB", "4KB"]
+        assert experiment.get("4KB", "update").operations_per_second > 0
+
+    def test_sweep_default_labels_and_validation(self, session):
+        experiment = session.sweep("hams-TE", ["update"], "hams",
+                                   "mos_page_bytes", [KB(4)])
+        assert experiment.platforms() == [str(KB(4))]
+        with pytest.raises(ValueError):
+            session.sweep("hams-TE", ["update"], "hams", "mos_page_bytes",
+                          [KB(4)], labels=["a", "b"])
+
+    def test_run_and_collect_take_explicit_specs(self, session):
+        specs = [RunSpec("oracle", "seqRd"), RunSpec("mmap", "seqRd")]
+        results = session.run(specs)
+        assert [result.platform for result in results] == ["oracle", "mmap"]
+        experiment = session.collect(specs)
+        assert set(experiment.results) == {("oracle", "seqRd"),
+                                           ("mmap", "seqRd")}
+
+    def test_context_accessors(self, session):
+        assert session.scale == SCALE
+        assert session.workers == 1
+        assert session.config.nvdimm.capacity_bytes > 0
+        assert len(session.trace("seqRd")) >= 100
+
+    def test_simulate_forwards_spec_knobs(self, session):
+        stressed = session.simulate(
+            "oracle", "seqRd", dataset_bytes_override=KB(512),
+            platform_kwargs={"capacity_bytes": KB(1024)})
+        assert stressed.operations_per_second > 0
+
+
+class TestModuleLevelHelpers:
+    def test_simulate_one_shot(self):
+        result = simulate("oracle", "seqRd", scale=SCALE, workers=1)
+        assert result.platform == "oracle"
+
+    def test_compare_one_shot(self):
+        experiment = compare(["oracle"], ["seqRd"], scale=SCALE, workers=1)
+        assert ("oracle", "seqRd") in experiment.results
+
+    def test_sweep_one_shot(self):
+        experiment = sweep("hams-TE", ["update"], "hams", "mos_page_bytes",
+                           [KB(128)], labels=["128KB"], scale=SCALE,
+                           workers=1)
+        assert experiment.platforms() == ["128KB"]
+
+    def test_axis_helpers(self):
+        assert platforms() == available_platforms()
+        assert platforms(figure_order=True) == list(PLATFORM_NAMES)
+        assert workloads() == all_workload_names()
+
+
+class TestTopLevelExports:
+    def test_facade_reexported_from_repro(self):
+        assert repro.Session is Session
+        assert repro.simulate is simulate
+        assert repro.compare is compare
+        assert repro.sweep is sweep
+
+    def test_batch_protocol_exported(self):
+        for name in ("AccessStream", "MemoryRequestBatch",
+                     "MemoryServiceBatch", "MemoryServiceResult"):
+            assert hasattr(repro, name), name

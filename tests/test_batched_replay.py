@@ -1,0 +1,115 @@
+"""Golden equivalence of the batched and scalar replay paths.
+
+The batched replay loop (chunked cache filtering, ``service_batch``,
+``sequential_add`` accounting) promises results that are *bit-identical* to
+the legacy scalar loop on every registered platform — not approximately
+equal: every float in the ``RunResult``, including the energy breakdown and
+the extras counters, must match to the last ulp.  These tests are the
+contract that lets the vectorized platforms rewrite their hot paths freely.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.numerics import sequential_add
+from repro.platforms.registry import available_platforms, create_platform
+from repro.workloads.registry import (
+    ExperimentScale,
+    build_trace,
+    scale_system_config,
+)
+
+#: Smoke-scale traces: small enough for the full platform matrix, large
+#: enough to exercise cache evictions, page-cache misses and migrations.
+SCALE = ExperimentScale(capacity_scale=1 / 256, min_accesses=200,
+                        max_accesses=600)
+
+#: One page-granular (cache-bypassing) and one fine-grained (cache-filtered)
+#: workload; together they cover both classification paths of the chunk
+#: filter and both write-heavy and read-heavy service streams.
+WORKLOADS = ("seqRd", "rndWr", "update")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scale_system_config(default_config(), SCALE)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {workload: build_trace(workload, SCALE)
+            for workload in WORKLOADS}
+
+
+def result_fields(result) -> dict:
+    return dataclasses.asdict(result)
+
+
+@pytest.mark.parametrize("platform_name", available_platforms())
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_batched_replay_is_bit_identical(platform_name, workload, config,
+                                         traces):
+    trace = traces[workload]
+    scalar = create_platform(platform_name, config).run(trace,
+                                                        execution="scalar")
+    batched = create_platform(platform_name, config).run(trace,
+                                                         execution="batched")
+    scalar_fields = result_fields(scalar)
+    batched_fields = result_fields(batched)
+    mismatched = {key for key in scalar_fields
+                  if scalar_fields[key] != batched_fields[key]}
+    assert not mismatched, {
+        key: (scalar_fields[key], batched_fields[key]) for key in mismatched}
+
+
+def test_default_mode_is_batched(config, traces):
+    platform = create_platform("oracle", config)
+    assert platform.replay_mode == "batched"
+    reference = create_platform("oracle", config).run(traces["seqRd"],
+                                                      execution="batched")
+    assert result_fields(platform.run(traces["seqRd"])) \
+        == result_fields(reference)
+
+
+def test_unknown_execution_mode_rejected(config, traces):
+    platform = create_platform("oracle", config)
+    with pytest.raises(ValueError):
+        platform.run(traces["seqRd"], execution="warp")
+
+
+def test_chunk_size_does_not_change_results(config, traces):
+    """The chunk boundary is an implementation detail, not a model input."""
+    trace = traces["update"]
+    reference = create_platform("hams-TE", config).run(trace)
+    for chunk_size in (1, 7, 64, 10_000):
+        platform = create_platform("hams-TE", config)
+        platform.replay_chunk_size = chunk_size
+        assert result_fields(platform.run(trace)) \
+            == result_fields(reference), chunk_size
+
+
+def test_sequential_add_matches_python_accumulation():
+    rng = np.random.default_rng(11)
+    addends = rng.random(4_321) * 1e7
+    expected = 0.123
+    for value in addends.tolist():
+        expected += value
+    assert sequential_add(0.123, addends) == expected
+    assert sequential_add(5.0, np.empty(0)) == 5.0
+
+
+def test_cache_statistics_match_between_paths(config, traces):
+    """record_bypass/access_batch leave the hierarchy exactly as the scalar
+    walk does (the extras comparison above covers rates; this pins the raw
+    counters)."""
+    trace = traces["update"]
+    scalar = create_platform("oracle", config)
+    scalar.run(trace, execution="scalar")
+    batched = create_platform("oracle", config)
+    batched.run(trace, execution="batched")
+    assert scalar.caches.statistics() == batched.caches.statistics()
+    assert scalar.caches.l1.hits == batched.caches.l1.hits
+    assert scalar.caches.l2.writebacks == batched.caches.l2.writebacks

@@ -1,0 +1,112 @@
+"""The artifact diff / perf-regression gate (`repro report --diff`)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.config import default_config
+from repro.platforms.base import RunResult
+from repro.energy.accounting import EnergyBreakdown
+from repro.runner.artifacts import experiment_to_artifact
+from repro.runner.cli import main as cli_main
+from repro.runner.regression import diff_artifacts, diff_payloads
+from repro.workloads.registry import ExperimentScale
+
+
+def _run_result(platform, workload, total_ns):
+    return RunResult(
+        platform=platform, workload=workload, suite="s",
+        operation_unit="ops", operations=1000.0, total_ns=total_ns,
+        app_ns=total_ns, os_ns=0.0, ssd_ns=0.0, memory_stall_ns=0.0,
+        compute_ns=total_ns, instructions=1000, memory_accesses=100,
+        offchip_accesses=10, ipc=1.0, mips=1.0,
+        energy=EnergyBreakdown(cpu_nj=1.0, nvdimm_nj=1.0,
+                               internal_dram_nj=0.0, znand_nj=0.0))
+
+
+def _artifact(name, throughputs):
+    """Build an artifact payload with given {(platform, wl): ops/s}."""
+    experiment = ExperimentResult(scale=ExperimentScale())
+    for (platform, workload), ops_per_s in throughputs.items():
+        total_ns = 1000.0 / ops_per_s * 1e9
+        experiment.add(platform, workload,
+                       _run_result(platform, workload, total_ns))
+    return experiment_to_artifact(name, experiment, default_config())
+
+
+BASELINE = _artifact("base", {("hams-TE", "seqRd"): 1000.0,
+                              ("mmap", "seqRd"): 100.0})
+
+
+class TestDiffPayloads:
+    def test_identical_artifacts_pass(self):
+        report = diff_payloads(BASELINE, copy.deepcopy(BASELINE))
+        assert report.passed
+        assert not report.regressions
+        assert len(report.entries) == 2
+        assert "PASS" in report.format()
+
+    def test_regression_past_threshold_fails(self):
+        slower = _artifact("cand", {("hams-TE", "seqRd"): 900.0,
+                                    ("mmap", "seqRd"): 100.0})
+        report = diff_payloads(BASELINE, slower, threshold=0.05)
+        assert not report.passed
+        assert [entry.platform for entry in report.regressions] == ["hams-TE"]
+        assert "REGRESSION" in report.format()
+
+    def test_drift_within_threshold_passes(self):
+        slightly = _artifact("cand", {("hams-TE", "seqRd"): 995.0,
+                                      ("mmap", "seqRd"): 100.0})
+        assert diff_payloads(BASELINE, slightly, threshold=0.02).passed
+
+    def test_improvement_passes(self):
+        faster = _artifact("cand", {("hams-TE", "seqRd"): 2000.0,
+                                    ("mmap", "seqRd"): 100.0})
+        assert diff_payloads(BASELINE, faster, threshold=0.02).passed
+
+    def test_missing_run_fails(self):
+        partial = _artifact("cand", {("hams-TE", "seqRd"): 1000.0})
+        report = diff_payloads(BASELINE, partial)
+        assert not report.passed
+        assert report.missing == [("mmap", "seqRd")]
+
+    def test_extra_candidate_runs_are_ignored(self):
+        extra = _artifact("cand", {("hams-TE", "seqRd"): 1000.0,
+                                   ("mmap", "seqRd"): 100.0,
+                                   ("oracle", "seqRd"): 9000.0})
+        assert diff_payloads(BASELINE, extra).passed
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            diff_payloads(BASELINE, copy.deepcopy(BASELINE), threshold=-0.1)
+
+
+class TestDiffCli:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_cli_diff_pass_and_fail(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", BASELINE)
+        good = self._write(tmp_path / "good.json", copy.deepcopy(BASELINE))
+        bad = self._write(tmp_path / "bad.json", _artifact(
+            "cand", {("hams-TE", "seqRd"): 10.0, ("mmap", "seqRd"): 100.0}))
+
+        assert cli_main(["report", "--diff", str(base), str(good)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert cli_main(["report", "--diff", str(base), str(bad),
+                         "--threshold", "0.05"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_diff_unreadable_artifact(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", BASELINE)
+        missing = tmp_path / "nope.json"
+        assert cli_main(["report", "--diff", str(base), str(missing)]) == 2
+        assert "cannot diff" in capsys.readouterr().err
+
+    def test_diff_artifacts_loads_files(self, tmp_path):
+        base = self._write(tmp_path / "base.json", BASELINE)
+        cand = self._write(tmp_path / "cand.json", copy.deepcopy(BASELINE))
+        assert diff_artifacts(base, cand).passed
