@@ -17,11 +17,19 @@ deliberately disabled here so the benchmark timings measure real work; the
 The experiment scale used here is deliberately smaller than the library
 default so the full harness finishes in minutes; the relative platform
 ordering — the part of the figures we reproduce — is insensitive to it.
+
+Setting ``$REPRO_BENCH_SHARDS`` to an integer > 0 routes every figure's
+matrix through the ``repro.distrib`` sharding tier (plan → work → merge in
+this process).  The results are bit-identical either way — that is the
+distrib tier's contract — so this is a way to measure the sharding
+overhead on real figure matrices, not a different experiment.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import socket
 import time
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
@@ -30,6 +38,14 @@ import pytest
 
 from repro.api import Session
 from repro.workloads.registry import ExperimentScale
+
+#: > 0: run each figure matrix through the sharded plan/work/merge path.
+_BENCH_SHARDS_RAW = os.environ.get("REPRO_BENCH_SHARDS", "0") or "0"
+try:
+    BENCH_SHARDS = int(_BENCH_SHARDS_RAW)
+except ValueError:
+    raise SystemExit(f"$REPRO_BENCH_SHARDS must be an integer, "
+                     f"got {_BENCH_SHARDS_RAW!r}") from None
 
 #: All figure tables are appended here as well as printed, so the numbers
 #: survive pytest's stdout capture of passing tests.
@@ -62,6 +78,8 @@ def record_figure(figure: str, tables: Mapping[str, Any],
         "schema": FIGURE_SCHEMA,
         "figure": figure,
         "created_unix": time.time(),
+        "host": socket.gethostname(),
+        "shards": BENCH_SHARDS,
         "tables": dict(tables),
     }
     if meta:
@@ -84,13 +102,13 @@ SMALL_SCALE = ExperimentScale(capacity_scale=1 / 128, min_accesses=1_000,
 @pytest.fixture(scope="session")
 def bench_runner() -> Session:
     """Session shared by the application-level figure benchmarks."""
-    return Session(BENCH_SCALE)
+    return Session(BENCH_SCALE, shards=BENCH_SHARDS)
 
 
 @pytest.fixture(scope="session")
 def small_runner() -> Session:
     """Session shared by the motivation-figure benchmarks."""
-    return Session(SMALL_SCALE)
+    return Session(SMALL_SCALE, shards=BENCH_SHARDS)
 
 
 def run_once(benchmark, function):

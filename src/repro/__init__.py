@@ -19,7 +19,7 @@ Quick start (see :mod:`repro.api` for the full facade)::
     print(result.operations_per_second)
 """
 
-from .api import Session, compare, simulate, sweep
+from .api import Session, compare, run_sharded, simulate, sweep
 from .config import (
     CPUConfig,
     DDRConfig,
@@ -61,6 +61,7 @@ __all__ = [
     "simulate",
     "compare",
     "sweep",
+    "run_sharded",
     "AccessStream",
     "MemoryAccess",
     "WorkloadTrace",

@@ -116,13 +116,27 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Builds scaled platforms/traces and replays every combination."""
+    """Builds scaled platforms/traces and replays every combination.
+
+    ``scaled_config`` bypasses the scaling step entirely and installs an
+    already-scaled configuration verbatim.  Distributed shard workers use
+    it: a shard manifest freezes the planner's *scaled* config as JSON, and
+    re-scaling it on the worker would shrink capacities twice.
+    """
 
     def __init__(self, scale: Optional[ExperimentScale] = None,
-                 base_config: Optional[SystemConfig] = None) -> None:
+                 base_config: Optional[SystemConfig] = None,
+                 scaled_config: Optional[SystemConfig] = None) -> None:
         self.scale = scale if scale is not None else ExperimentScale()
-        base = base_config if base_config is not None else default_config()
-        self.config = scale_system_config(base, self.scale)
+        if scaled_config is not None:
+            if base_config is not None:
+                raise ValueError(
+                    "pass either base_config (to be scaled) or scaled_config "
+                    "(used verbatim), not both")
+            self.config = scaled_config
+        else:
+            base = base_config if base_config is not None else default_config()
+            self.config = scale_system_config(base, self.scale)
         self._trace_cache: Dict[tuple, object] = {}
 
     def trace(self, workload: str, dataset_bytes_override: Optional[int] = None):

@@ -9,6 +9,8 @@ lives behind this one module:
   exposes the replay verbs,
 * :func:`simulate` / :func:`compare` / :func:`sweep` — one-shot conveniences
   that build a throwaway session,
+* :func:`run_sharded` — plan/execute/merge an experiment through the
+  :mod:`repro.distrib` sharding tier (bit-identical to the unsharded run),
 * :func:`platforms` / :func:`workloads` — the valid axis names.
 
 The facade is a thin, stable skin over the runner subsystem: a
@@ -40,10 +42,11 @@ from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
 
 from .analysis.experiments import ExperimentResult
 from .config import SystemConfig
+from .distrib import run_sharded_specs
 from .platforms.base import RunResult
 from .platforms.registry import PLATFORM_NAMES, available_platforms
 from .runner.parallel import ParallelExperimentRunner
-from .runner.specs import RunSpec
+from .runner.specs import RunSpec, matrix_specs
 from .workloads.registry import ExperimentScale, all_workload_names
 from .workloads.trace import WorkloadTrace
 
@@ -52,6 +55,7 @@ __all__ = [
     "simulate",
     "compare",
     "sweep",
+    "run_sharded",
     "platforms",
     "workloads",
 ]
@@ -76,16 +80,31 @@ class Session:
     library scale), *base_config* is the unscaled Table II system,
     *workers* sizes the process pool (``None``: ``$REPRO_WORKERS`` or the
     CPU count), and *cache_dir* enables the content-addressed run cache.
+
+    *shards* routes every matrix verb (:meth:`collect`, :meth:`compare`,
+    :meth:`sweep`) through the :mod:`repro.distrib` sharding tier by
+    default: the spec list is planned into that many shard manifests,
+    executed (in this process, shard by shard) and provenance-checked
+    merged — bit-identical to the unsharded path, and leaving reusable
+    shard artifacts behind under *spool_dir* when one is given.
     """
 
     def __init__(self, scale: Optional[ExperimentScale] = None,
                  base_config: Optional[SystemConfig] = None, *,
                  workers: Optional[int] = None,
                  cache_dir: Optional[Path] = None,
-                 force: bool = False) -> None:
+                 force: bool = False,
+                 shards: Optional[int] = None,
+                 spool_dir: Optional[Path] = None,
+                 wait_timeout: Optional[float] = None) -> None:
         self._runner = ParallelExperimentRunner(
             scale=scale, base_config=base_config, workers=workers,
             cache_dir=cache_dir, force=force)
+        self._shards = shards
+        self._spool_dir = spool_dir
+        # Bounds how long a sharded run waits on shards claimed by workers
+        # on other hosts (None: wait indefinitely, with stderr notices).
+        self._wait_timeout = wait_timeout
 
     # -- context accessors ----------------------------------------------------------
 
@@ -131,23 +150,55 @@ class Session:
         """Execute explicit run specs, preserving input order."""
         return self._runner.run_specs(specs)
 
-    def collect(self, specs: Sequence[RunSpec]) -> ExperimentResult:
-        """Execute specs and merge the runs into one ExperimentResult."""
-        return self._runner.collect(specs)
+    def _effective_shards(self, shards: Optional[int]) -> Optional[int]:
+        value = shards if shards is not None else self._shards
+        # 0 (or anything non-positive) is the natural "off" value when the
+        # count is plumbed from an env var or config: treat it as unsharded
+        # rather than failing deep inside the planner.
+        if value is None or value <= 0:
+            return None
+        return value
 
-    def compare(self, platforms: Iterable[str],
-                workloads: Iterable[str]) -> ExperimentResult:
+    def collect(self, specs: Sequence[RunSpec], *,
+                shards: Optional[int] = None,
+                name: str = "session") -> ExperimentResult:
+        """Execute specs and merge the runs into one ExperimentResult.
+
+        With *shards* (or a session-level default), execution goes through
+        the plan/work/merge pipeline of :mod:`repro.distrib` instead of one
+        pool call — same results, shard artifacts on the side.
+        """
+        shards = self._effective_shards(shards)
+        if shards is None:
+            return self._runner.collect(specs)
+        return run_sharded_specs(
+            name, list(specs), self.config, self.scale, shards,
+            spool_dir=self._spool_dir, workers=self.workers,
+            force=self._runner.force,
+            # The session's own content-addressed cache keeps serving (and
+            # absorbing) runs when execution is sharded.
+            cache_dir=self._runner.cache.root,
+            wait_timeout=self._wait_timeout)
+
+    def compare(self, platforms: Iterable[str], workloads: Iterable[str], *,
+                shards: Optional[int] = None) -> ExperimentResult:
         """Replay the full (platform x workload) matrix."""
-        return self._runner.run_matrix(platforms, workloads)
+        shards = self._effective_shards(shards)
+        if shards is None:
+            return self._runner.run_matrix(platforms, workloads)
+        return self.collect(matrix_specs(list(platforms), list(workloads)),
+                            shards=shards)
 
     def sweep(self, platform: str, workloads: Iterable[str],
               section: str, field: str, values: Sequence[Any], *,
-              labels: Optional[Sequence[str]] = None) -> ExperimentResult:
+              labels: Optional[Sequence[str]] = None,
+              shards: Optional[int] = None) -> ExperimentResult:
         """Sweep one config field of one platform across *values*.
 
         Each value becomes one labelled run per workload (default label:
         ``str(value)``), so the result is keyed ``(label, workload)`` —
-        the shape the Figure 20a page-size study plots.
+        the shape the Figure 20a page-size study plots.  *shards* splits
+        the sweep across the distributed tier.
         """
         values = list(values)
         if labels is None:
@@ -161,7 +212,7 @@ class Session:
                     label=label)
             for workload in workloads
             for value, label in zip(values, labels)
-        ])
+        ], shards=shards, name=f"sweep-{platform}-{section}.{field}")
 
 
 def _session(scale: Optional[ExperimentScale],
@@ -186,7 +237,33 @@ def compare(platforms: Iterable[str], workloads: Iterable[str], *,
 def sweep(platform: str, workloads: Iterable[str], section: str, field: str,
           values: Sequence[Any], *, labels: Optional[Sequence[str]] = None,
           scale: Optional[ExperimentScale] = None,
-          workers: Optional[int] = None) -> ExperimentResult:
+          workers: Optional[int] = None,
+          shards: Optional[int] = None) -> ExperimentResult:
     """One-shot :meth:`Session.sweep` with a throwaway session."""
     return _session(scale, workers).sweep(platform, workloads, section,
-                                          field, values, labels=labels)
+                                          field, values, labels=labels,
+                                          shards=shards)
+
+
+def run_sharded(platforms: Iterable[str], workloads: Iterable[str], *,
+                shards: int = 2,
+                name: str = "sharded",
+                scale: Optional[ExperimentScale] = None,
+                base_config: Optional[SystemConfig] = None,
+                workers: Optional[int] = None,
+                spool_dir: Optional[Path] = None,
+                wait_timeout: Optional[float] = None) -> ExperimentResult:
+    """Replay a matrix through the distributed tier: plan, work, merge.
+
+    The "cluster of one" convenience: shards are planned, executed in this
+    process and provenance-check merged, producing an
+    :class:`~repro.analysis.experiments.ExperimentResult` bit-identical to
+    :func:`compare` on the same matrix.  Give *spool_dir* to keep the shard
+    manifests/artifacts (or to let workers on other hosts pick shards up
+    from a shared filesystem instead — see ``python -m repro shard``).
+    """
+    session = Session(scale=scale, base_config=base_config, workers=workers,
+                      shards=shards, spool_dir=spool_dir,
+                      wait_timeout=wait_timeout)
+    return session.collect(
+        matrix_specs(list(platforms), list(workloads)), name=name)

@@ -1,0 +1,162 @@
+"""Shard manifests: the versioned unit of distributed experiment work.
+
+``repro shard plan`` partitions one experiment — an ordered list of
+:class:`~repro.runner.specs.RunSpec` records plus the frozen scale and the
+*scaled* system configuration — into N **shard manifests** (schema
+``repro.shard/1``).  A manifest is self-contained: a worker on any host
+rebuilds the exact specs, scale and config from it alone, with no access to
+the planner's process or the repository checkout that produced it.
+
+Determinism is the whole point of the layout:
+
+* the partition is contiguous and balanced (shard sizes differ by at most
+  one), so concatenating the shards in index order reproduces the original
+  spec order — which is what lets the coordinator emit an artifact whose
+  runs appear in exactly the order an unsharded run would have written;
+* every spec entry carries its global ``index`` and its content-addressed
+  run-cache ``key`` (the same SHA-256 the runner uses), so a worker can
+  verify that its reconstruction of the plan hashes to the same addresses
+  before executing anything;
+* the ``experiment_id`` digests the full plan (name, specs, scale, config,
+  shard count), so shards from different plans can never be merged by
+  accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..runner.artifacts import (
+    canonical_json,
+    config_hash_of,
+    config_to_dict,
+    run_cache_key,
+    scale_to_dict,
+)
+from ..runner.specs import RunSpec
+from ..workloads.registry import ExperimentScale
+
+#: Bump when the shard-manifest layout changes.
+SHARD_MANIFEST_SCHEMA = "repro.shard/1"
+#: Bump when the shard-result artifact layout changes.
+SHARD_RESULT_SCHEMA = "repro.shard-result/1"
+
+
+def partition_bounds(total: int, shard_count: int) -> List[Tuple[int, int]]:
+    """Contiguous balanced ``[start, end)`` bounds for each shard.
+
+    The first ``total % shard_count`` shards receive one extra spec, so any
+    two shard sizes differ by at most one.  Shards past the spec count come
+    out empty, which the worker and coordinator both tolerate.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    base, extra = divmod(total, shard_count)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(shard_count):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def experiment_tag(experiment_id: str) -> str:
+    """Short filename-safe tag of an experiment id (first 8 hex digits)."""
+    return experiment_id.split(":", 1)[-1][:8]
+
+
+def experiment_id_of(name: str, specs: Sequence[RunSpec],
+                     config: SystemConfig, scale: ExperimentScale,
+                     shard_count: int) -> str:
+    """Digest of the complete plan; identical across all of its shards."""
+    digest = hashlib.sha256(canonical_json({
+        "schema": SHARD_MANIFEST_SCHEMA,
+        "experiment": name,
+        "specs": [spec.to_dict() for spec in specs],
+        "scale": scale_to_dict(scale),
+        "config": config_to_dict(config),
+        "shard_count": shard_count,
+    }).encode("utf-8"))
+    return f"sha256:{digest.hexdigest()}"
+
+
+def plan_shards(name: str, specs: Sequence[RunSpec], config: SystemConfig,
+                scale: ExperimentScale, shard_count: int,
+                baseline: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Partition *specs* into *shard_count* manifest payloads.
+
+    *config* must already be scaled (it is the runner's ``.config``, not the
+    unscaled Table II base): workers install it verbatim via
+    ``scaled_config`` so their run-cache keys match the ``key`` fields
+    computed here.  *baseline* names the speedup-baseline platform for
+    report summaries; it rides along as presentation metadata and does not
+    enter the experiment id.
+    """
+    specs = list(specs)
+    experiment_id = experiment_id_of(name, specs, config, scale, shard_count)
+    scale_dict = scale_to_dict(scale)
+    config_dict = config_to_dict(config)
+    config_hash = config_hash_of(config)
+    keys = [run_cache_key(spec, config, scale) for spec in specs]
+    manifests: List[Dict[str, Any]] = []
+    for shard_index, (start, end) in enumerate(
+            partition_bounds(len(specs), shard_count)):
+        manifests.append({
+            "schema": SHARD_MANIFEST_SCHEMA,
+            "experiment": name,
+            "experiment_id": experiment_id,
+            "shard_index": shard_index,
+            "shard_count": shard_count,
+            "baseline": baseline,
+            "scale": scale_dict,
+            "config": config_dict,
+            "config_hash": config_hash,
+            "specs": [{
+                "index": index,
+                "key": keys[index],
+                "spec": specs[index].to_dict(),
+            } for index in range(start, end)],
+        })
+    return manifests
+
+
+_MANIFEST_FIELDS = ("experiment", "experiment_id", "shard_index",
+                    "shard_count", "scale", "config", "config_hash", "specs")
+
+
+def validate_manifest(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Check schema and required fields; return *payload* for chaining."""
+    schema = payload.get("schema")
+    if schema != SHARD_MANIFEST_SCHEMA:
+        raise ValueError(
+            f"unsupported shard manifest schema {schema!r} "
+            f"(expected {SHARD_MANIFEST_SCHEMA})")
+    missing = [name for name in _MANIFEST_FIELDS if name not in payload]
+    if missing:
+        raise ValueError(f"shard manifest is missing fields: {missing}")
+    if not 0 <= payload["shard_index"] < payload["shard_count"]:
+        raise ValueError(
+            f"shard index {payload['shard_index']} out of range for "
+            f"{payload['shard_count']} shard(s)")
+    for entry in payload["specs"]:
+        if not isinstance(entry, dict) or \
+                not {"index", "key", "spec"} <= entry.keys():
+            raise ValueError(
+                "shard manifest spec entries must carry index/key/spec")
+    return payload
+
+
+def load_manifest(path: Path) -> Dict[str, Any]:
+    """Read and validate one shard manifest file."""
+    return validate_manifest(
+        json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def manifest_specs(payload: Dict[str, Any]) -> List[RunSpec]:
+    """Rebuild the RunSpecs a manifest names, in manifest order."""
+    return [RunSpec.from_dict(entry["spec"]) for entry in payload["specs"]]

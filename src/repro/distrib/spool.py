@@ -1,0 +1,330 @@
+"""Dependency-free multi-host coordination: a spool directory of shards.
+
+There is no coordinator service.  A **spool** is a plain directory — local
+disk for one machine, NFS (or any shared filesystem with atomic same-
+directory rename) for a fleet — with one subdirectory per shard state:
+
+* ``pending/shard-<plan>-NNNN.json`` — manifests written by ``repro shard
+  plan`` (``<plan>`` is a short experiment-id tag, so several experiments
+  can share one spool without name collisions);
+* ``claims/shard-<plan>-NNNN.json`` — a manifest a worker has claimed.  Claiming
+  is a bare ``os.replace`` from ``pending/`` to ``claims/``: rename is
+  atomic, so exactly one of any number of racing workers wins a shard and
+  the losers simply move on to the next pending file.  After winning, the
+  worker rewrites its claim file (atomically) with an embedded ``claim``
+  record naming the owner, which is how ``repro shard status`` reports who
+  is running what;
+* ``results/shard-<plan>-NNNN.json`` — the shard artifact
+  (``repro.shard-result/1``) the worker emits on completion, after which
+  the claim file is removed;
+* ``cache/`` — the default content-addressed run cache shared by every
+  worker of this spool, which is what makes a killed-and-restarted worker
+  resume instead of recompute.
+
+A shard whose claim file exists but whose result does not is *running* — or
+orphaned by a dead worker.  Recovery is explicit and safe:
+``repro shard work --spool DIR claims/shard-<plan>-NNNN.json`` re-executes
+the claimed shard (resuming from the cache), or :meth:`ShardSpool.release`
+returns it to ``pending/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..runner.artifacts import atomic_write_json
+from .manifest import (
+    SHARD_RESULT_SCHEMA,
+    experiment_tag,
+    validate_manifest,
+)
+
+
+def default_owner() -> str:
+    """Worker identity recorded in claims and shard results: host:pid."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def shard_file_name(experiment_id: str, shard_index: int) -> str:
+    """Shard file name, unique *across plans* sharing one spool.
+
+    The experiment-id tag keeps a reused spool safe: planning a second
+    experiment into the same directory can never overwrite (or be confused
+    with) the first one's manifests or results.
+    """
+    return f"shard-{experiment_tag(experiment_id)}-{shard_index:04d}.json"
+
+
+def shard_label(payload: Dict[str, Any]) -> str:
+    """Human-readable shard identity used by ``repro shard status``.
+
+    The experiment tag is part of the label because experiment *names*
+    collide across plans (every ad-hoc plan is called ``custom``); without
+    it, two same-name plans sharing a spool would alias in status output.
+    """
+    return (f"{payload['experiment']}#"
+            f"{experiment_tag(payload['experiment_id'])}"
+            f":{payload['shard_index']:04d}")
+
+
+@dataclass(frozen=True)
+class ClaimedShard:
+    """One shard a worker owns: the claim file path and its manifest."""
+
+    path: Path
+    payload: Dict[str, Any]
+
+    @property
+    def shard_index(self) -> int:
+        return self.payload["shard_index"]
+
+
+@dataclass
+class SpoolStatus:
+    """Snapshot of a spool directory for ``repro shard status``.
+
+    Shards are keyed by their :func:`shard_label` (``experiment:index``),
+    so a spool holding several plans reports each shard unambiguously.
+    """
+
+    pending: List[str] = field(default_factory=list)
+    running: Dict[str, str] = field(default_factory=dict)
+    done: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.pending) + len(self.running) + len(self.done)
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending and not self.running and bool(self.done)
+
+
+class ShardSpool:
+    """One spool directory; every method is safe under concurrent workers."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.pending_dir = self.root / "pending"
+        self.claims_dir = self.root / "claims"
+        self.results_dir = self.root / "results"
+        self.cache_dir = self.root / "cache"
+
+    def prepare(self) -> "ShardSpool":
+        for directory in (self.pending_dir, self.claims_dir,
+                          self.results_dir, self.cache_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- planning ------------------------------------------------------------------
+
+    def add_manifests(self, payloads: List[Dict[str, Any]]) -> List[Path]:
+        """Write manifests into ``pending/`` (atomically, one per shard).
+
+        Shards of the same plan that are already claimed or finished are
+        skipped, so re-planning into a live or partially-done spool resumes
+        instead of re-queueing work some worker already owns.  (The check
+        and the write are not one atomic step — a shard claimed in between
+        can be re-queued and executed twice.  That costs a shard of
+        compute in a rare race, never correctness: execution is
+        deterministic, results are content-equal, and the last atomic
+        rename wins.  Closing the window entirely would need a lock
+        service, which this tier deliberately does not have.)
+        """
+        self.prepare()
+        paths = []
+        for payload in payloads:
+            validate_manifest(payload)
+            name = shard_file_name(payload["experiment_id"],
+                                   payload["shard_index"])
+            if (self.claims_dir / name).exists() or \
+                    (self.results_dir / name).exists():
+                continue
+            paths.append(atomic_write_json(self.pending_dir / name, payload))
+        return paths
+
+    # -- claiming ------------------------------------------------------------------
+
+    def claim_next(self, owner: Optional[str] = None,
+                   experiment_id: Optional[str] = None
+                   ) -> Optional[ClaimedShard]:
+        """Atomically claim one pending shard; ``None`` when none are left.
+
+        Any number of workers may call this concurrently: ``os.replace`` of
+        the manifest from ``pending/`` into ``claims/`` either succeeds for
+        exactly one caller or raises ``FileNotFoundError`` for the ones that
+        lost the race, which simply try the next pending shard.
+
+        With *experiment_id*, shards of other plans sharing the spool are
+        left alone — selection happens on the file name's experiment tag,
+        so a foreign manifest is never even transiently moved out of
+        ``pending/`` (which could make that plan's own workers see an
+        empty spool and stop early).
+        """
+        owner = owner or default_owner()
+        if experiment_id is None:
+            pattern = "shard-*.json"
+        else:
+            pattern = f"shard-{experiment_tag(experiment_id)}-*.json"
+        for path in sorted(self.pending_dir.glob(pattern)):
+            # Validate BEFORE claiming: a manifest that fails to parse
+            # (foreign schema version, hand-edited) stays in pending/ where
+            # the operator can see it, instead of becoming an orphaned
+            # claim that no worker owns and every merge waits on.
+            try:
+                payload = validate_manifest(
+                    json.loads(path.read_text(encoding="utf-8")))
+            except FileNotFoundError:
+                continue  # another worker won this shard
+            except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+                # Malformed in any way (bad JSON, missing fields,
+                # wrong-typed fields): leave for the operator rather than
+                # wedging every worker on one bad file.
+                continue
+            if experiment_id is not None and \
+                    payload["experiment_id"] != experiment_id:
+                continue  # tag collision: another plan's shard
+            target = self.claims_dir / path.name
+            try:
+                os.replace(path, target)
+            except FileNotFoundError:
+                continue  # another worker won this shard
+            # The rename made us the sole owner (and a plan's manifest
+            # bytes never change once written), so annotating the claim
+            # file in place is race-free.
+            payload["claim"] = {"owner": owner, "claimed_unix": time.time()}
+            atomic_write_json(target, payload)
+            return ClaimedShard(path=target, payload=payload)
+        return None
+
+    def release(self, claim: ClaimedShard) -> Path:
+        """Return a claimed shard to ``pending/`` (e.g. after a failure).
+
+        The hand-back is the same single atomic rename claiming uses, in
+        reverse — never a copy-then-delete, whose window would let a racing
+        ``claim_next`` claim the copy and then lose its claim file to the
+        delete.  The claim annotation is stripped in place first (safe: the
+        releasing worker still owns the file while it sits in ``claims/``).
+        """
+        payload = dict(claim.payload)
+        payload.pop("claim", None)
+        atomic_write_json(claim.path, payload)
+        path = self.pending_dir / claim.path.name
+        os.replace(claim.path, path)
+        return path
+
+    def finish(self, claim: ClaimedShard,
+               result_payload: Dict[str, Any]) -> Path:
+        """Publish the shard artifact and retire the claim."""
+        path = atomic_write_json(self.results_dir / claim.path.name,
+                                 result_payload)
+        claim.path.unlink(missing_ok=True)
+        return path
+
+    # -- inspection ----------------------------------------------------------------
+
+    def outstanding(self, experiment_id: str) -> List[str]:
+        """This plan's shard files still pending or claimed without a
+        published result (empty, i.e. falsy, when nothing is in flight).
+
+        A claim whose result file already exists does not count: it is a
+        finished shard whose claim cleanup raced or a stale duplicate, and
+        waiting on it would block forever.  Once this empties, every shard
+        has either published a result or vanished entirely (a lost claim)
+        — the coordinator's missing-shard check distinguishes the two.
+        """
+        pattern = f"shard-{experiment_tag(experiment_id)}-*.json"
+        done = {path.name for path in self.results_dir.glob(pattern)}
+        return sorted(
+            {path.name for path in self.pending_dir.glob(pattern)
+             if path.name not in done} |
+            {path.name for path in self.claims_dir.glob(pattern)
+             if path.name not in done})
+
+    def result_paths(self) -> List[Path]:
+        return sorted(self.results_dir.glob("shard-*.json"))
+
+    def load_results(self, experiment_id: Optional[str] = None
+                     ) -> List[Dict[str, Any]]:
+        """Read the shard artifacts in ``results/``.
+
+        With *experiment_id*, artifacts of other plans sharing the spool
+        are never even opened (filename-tag filter), so a stray foreign or
+        malformed result cannot break an unrelated plan's merge; the
+        schema is enforced only on the selected files, and the coordinator
+        still re-validates provenance.
+        """
+        if experiment_id is None:
+            paths = self.result_paths()
+        else:
+            paths = sorted(self.results_dir.glob(
+                f"shard-{experiment_tag(experiment_id)}-*.json"))
+        payloads = []
+        for path in paths:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("schema") != SHARD_RESULT_SCHEMA:
+                raise ValueError(
+                    f"{path}: unsupported shard result schema "
+                    f"{payload.get('schema')!r} "
+                    f"(expected {SHARD_RESULT_SCHEMA})")
+            if experiment_id is not None and \
+                    payload.get("experiment_id") != experiment_id:
+                continue  # tag collision with another plan
+            payloads.append(payload)
+        return payloads
+
+    def status(self) -> SpoolStatus:
+        # Workers move files between these directories while we read them
+        # (claim renames, finish unlinks), so a file that vanished between
+        # the glob and the read simply belongs to the next state already.
+        # Malformed files are reported under their file name rather than
+        # crashing the one command an operator uses to inspect the spool.
+        def read(path: Path) -> Optional[Dict[str, Any]]:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                return None  # moved to its next state mid-scan
+            except json.JSONDecodeError:
+                return {}  # malformed: still report it, under its file name
+            return payload if isinstance(payload, dict) else {}
+
+        def label(path: Path, payload: Dict[str, Any]) -> str:
+            try:
+                return shard_label(payload)
+            except (KeyError, TypeError):
+                return path.stem
+
+        status = SpoolStatus()
+        for path in sorted(self.pending_dir.glob("shard-*.json")):
+            # Same result-exists exemption as the claims branch below (and
+            # outstanding()): a shard both released and recovered leaves a
+            # pending file next to its published result — it is done.
+            if (self.results_dir / path.name).exists():
+                continue
+            payload = read(path)
+            if payload is None:
+                continue
+            status.pending.append(label(path, payload))
+        for path in sorted(self.claims_dir.glob("shard-*.json")):
+            # Same exemption as outstanding(): a claim whose result exists
+            # is a finished shard with raced cleanup, not a running one —
+            # counting it would hold `shard status` at exit 3 forever.
+            if (self.results_dir / path.name).exists():
+                continue
+            payload = read(path)
+            if payload is None:
+                continue
+            owner = payload.get("claim", {}).get("owner", "unknown")
+            status.running[label(path, payload)] = owner
+        for path in self.result_paths():
+            payload = read(path)
+            if payload is None:  # pragma: no cover - results only grow
+                continue
+            status.done.append(label(path, payload))
+        return status

@@ -1,0 +1,162 @@
+"""Shard worker: execute one manifest's specs and emit a shard artifact.
+
+A worker is just a :class:`~repro.runner.parallel.ParallelExperimentRunner`
+pointed at the shard's run cache: it rebuilds the frozen scale/config from
+the manifest, verifies that its reconstruction content-addresses to exactly
+the cache keys the planner computed (any drift — a changed default, a
+different library version — fails loudly *before* any cycles are burned),
+replays the shard's specs over its local process pool, and publishes a
+``repro.shard-result/1`` payload.
+
+Resume semantics come entirely from the run cache: the runner streams every
+finished run into the cache as it completes, so a worker killed mid-shard
+and restarted (on the same host or any host sharing the spool) loads the
+finished runs back as cache hits and only executes the remainder.  The
+shard result is assembled from the full, ordered spec list either way — a
+resumed shard can neither drop nor duplicate runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..runner.artifacts import (
+    config_from_dict,
+    config_hash_of,
+    run_result_to_dict,
+    scale_from_dict,
+)
+from ..runner.parallel import ParallelExperimentRunner
+from .manifest import (
+    SHARD_RESULT_SCHEMA,
+    load_manifest,
+    manifest_specs,
+    validate_manifest,
+)
+from .spool import ClaimedShard, ShardSpool, default_owner, shard_file_name
+
+
+def execute_shard(manifest: Dict[str, Any], *,
+                  cache_dir: Optional[Path] = None,
+                  workers: Optional[int] = None,
+                  force: bool = False,
+                  host: Optional[str] = None) -> Dict[str, Any]:
+    """Run one shard manifest to completion and return its result payload.
+
+    *cache_dir* should be shared by all workers of one plan (the spool's
+    ``cache/`` by default when going through :func:`work_spool`); it is what
+    makes re-execution after a crash resume rather than recompute.
+    """
+    validate_manifest(manifest)
+    scale = scale_from_dict(manifest["scale"])
+    config = config_from_dict(manifest["config"])
+    config_hash = config_hash_of(config)
+    if config_hash != manifest["config_hash"]:
+        raise ValueError(
+            f"shard {manifest['shard_index']}: reconstructed config hashes "
+            f"to {config_hash} but the manifest was planned against "
+            f"{manifest['config_hash']}")
+
+    runner = ParallelExperimentRunner(
+        scale=scale, scaled_config=config, workers=workers,
+        cache_dir=cache_dir, force=force)
+    specs = manifest_specs(manifest)
+    for entry, spec in zip(manifest["specs"], specs):
+        key = runner.cache_key(spec)
+        if key != entry["key"]:
+            raise ValueError(
+                f"shard {manifest['shard_index']}: spec #{entry['index']} "
+                f"({spec.platform}/{spec.workload}) content-addresses to "
+                f"{key[:12]}..., manifest says {entry['key'][:12]}... — "
+                f"the worker's library diverges from the planner's")
+
+    results = runner.run_specs(specs)
+    runs: List[Dict[str, Any]] = []
+    for entry, spec, result in zip(manifest["specs"], specs, results):
+        platform_key, workload_key = spec.result_key
+        runs.append({
+            "index": entry["index"],
+            "key": entry["key"],
+            "platform_key": platform_key,
+            "workload_key": workload_key,
+            "operations_per_second": result.operations_per_second,
+            "result": run_result_to_dict(result),
+        })
+    return {
+        "schema": SHARD_RESULT_SCHEMA,
+        "experiment": manifest["experiment"],
+        "experiment_id": manifest["experiment_id"],
+        "shard_index": manifest["shard_index"],
+        "shard_count": manifest["shard_count"],
+        "baseline": manifest.get("baseline"),
+        "scale": manifest["scale"],
+        "config": manifest["config"],
+        "config_hash": manifest["config_hash"],
+        "host": host or default_owner(),
+        "cache_hits": runner.cache.hits,
+        "cache_misses": runner.cache.misses,
+        "runs": runs,
+    }
+
+
+def execute_shard_file(path: Path, spool: ShardSpool, *,
+                       workers: Optional[int] = None,
+                       force: bool = False,
+                       host: Optional[str] = None) -> Path:
+    """Execute one explicit manifest (or claim) file into the spool.
+
+    This is the recovery path: pointing a worker at an orphaned
+    ``claims/shard-NNNN.json`` re-runs that shard — resuming from the shared
+    cache — and publishes its result; the stale claim file is cleaned up if
+    the executed manifest was it.
+    """
+    path = Path(path)
+    manifest = load_manifest(path)
+    result = execute_shard(manifest, cache_dir=spool.prepare().cache_dir,
+                           workers=workers, force=force, host=host)
+    claim = ClaimedShard(
+        path=spool.claims_dir / shard_file_name(manifest["experiment_id"],
+                                                manifest["shard_index"]),
+        payload=manifest)
+    published = spool.finish(claim, result)
+    # Resolve before comparing: the manifest may have been named relative
+    # to the cwd while the spool was given absolute (or vice versa).
+    resolved = path.resolve()
+    if resolved != claim.path.resolve() and resolved.parent in (
+            spool.pending_dir.resolve(), spool.claims_dir.resolve()):
+        path.unlink(missing_ok=True)
+    return published
+
+
+def work_spool(spool: ShardSpool, *,
+               owner: Optional[str] = None,
+               workers: Optional[int] = None,
+               force: bool = False,
+               max_shards: Optional[int] = None,
+               cache_dir: Optional[Path] = None,
+               experiment_id: Optional[str] = None) -> List[Path]:
+    """Claim-and-execute pending shards until the spool runs dry.
+
+    Returns the shard-result paths this worker published.  On a failure the
+    claimed shard is released back to ``pending/`` before the exception
+    propagates, so other workers (or a retry) can pick it up.  *cache_dir*
+    overrides the spool's shared ``cache/`` — a session that already owns a
+    content-addressed cache keeps hitting (and feeding) it when sharded.
+    *experiment_id* restricts this worker to one plan's shards.
+    """
+    owner = owner or default_owner()
+    published: List[Path] = []
+    while max_shards is None or len(published) < max_shards:
+        claim = spool.claim_next(owner, experiment_id=experiment_id)
+        if claim is None:
+            break
+        try:
+            result = execute_shard(claim.payload,
+                                   cache_dir=cache_dir or spool.cache_dir,
+                                   workers=workers, force=force, host=owner)
+        except BaseException:
+            spool.release(claim)
+            raise
+        published.append(spool.finish(claim, result))
+    return published

@@ -15,6 +15,10 @@ from .artifacts import (
     EXPERIMENT_SCHEMA,
     RUN_SCHEMA,
     RunCache,
+    atomic_write_text,
+    config_from_dict,
+    config_hash_of,
+    config_to_dict,
     experiment_from_artifact,
     load_experiment_artifact,
     run_cache_key,
@@ -41,6 +45,10 @@ __all__ = [
     "EXPERIMENT_SCHEMA",
     "RUN_SCHEMA",
     "RunCache",
+    "atomic_write_text",
+    "config_from_dict",
+    "config_hash_of",
+    "config_to_dict",
     "experiment_from_artifact",
     "load_experiment_artifact",
     "run_cache_key",

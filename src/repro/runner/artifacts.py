@@ -23,8 +23,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
+import os
+import socket
 import time
+import typing
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -46,8 +50,81 @@ def canonical_json(payload: Any) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
+#: Disambiguates temp files within one process (several threads/calls).
+_TMP_COUNTER = itertools.count()
+
+
+def atomic_write_text(path: Path, text: str) -> Path:
+    """Write *text* to *path* atomically (same-directory temp + rename).
+
+    ``os.replace`` of a file in the same directory is atomic on POSIX and
+    NT, so readers polling the path — concurrent shard workers sharing a run
+    cache or a spool directory over NFS — observe either the previous
+    content or the complete new content, never a torn write.  The temp name
+    carries hostname, PID and a counter: PIDs alone collide across hosts
+    (and are reused in containers), and two writers sharing a temp path
+    would interleave and promote torn bytes.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{socket.gethostname()}"
+                         f".{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: Path, payload: Any) -> Path:
+    """Atomically write *payload* in the one artifact JSON format.
+
+    Every artifact writer (cache entries, experiment artifacts, shard
+    manifests/claims/results) goes through here so the on-disk formatting
+    can never diverge between them.
+    """
+    return atomic_write_text(path,
+                             json.dumps(payload, sort_keys=True, indent=1))
+
+
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
     return dataclasses.asdict(config)
+
+
+def _dataclass_from_dict(cls: type, payload: Dict[str, Any]) -> Any:
+    """Recursively rebuild a (frozen, nested) config dataclass from asdict."""
+    hints = typing.get_type_hints(cls)
+    kwargs: Dict[str, Any] = {}
+    for field_info in dataclasses.fields(cls):
+        value = payload[field_info.name]
+        hint = hints[field_info.name]
+        if dataclasses.is_dataclass(hint) and isinstance(value, dict):
+            value = _dataclass_from_dict(hint, value)
+        kwargs[field_info.name] = value
+    return cls(**kwargs)
+
+
+def config_from_dict(payload: Dict[str, Any]) -> SystemConfig:
+    """Inverse of :func:`config_to_dict`, exact for every config field.
+
+    Shard manifests freeze the planner's scaled configuration as plain JSON;
+    workers on other hosts rebuild the identical ``SystemConfig`` from it,
+    which is what keeps their run-cache keys — and therefore their results —
+    byte-compatible with the plan.
+    """
+    return _dataclass_from_dict(SystemConfig, payload)
+
+
+def config_hash_of(config: SystemConfig) -> str:
+    """``sha256:<hex>`` digest of the canonical config JSON."""
+    digest = hashlib.sha256(
+        canonical_json(config_to_dict(config)).encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
 
 
 def scale_to_dict(scale: ExperimentScale) -> Dict[str, Any]:
@@ -177,15 +254,17 @@ class RunCache:
         path = self.path_for(key)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": RUN_SCHEMA,
             "key": key,
             "spec": spec.canonical(),
             "result": run_result_to_dict(result),
         }
-        path.write_text(json.dumps(payload, sort_keys=True, indent=1),
-                        encoding="utf-8")
+        # Atomic so shard workers sharing one cache directory can never
+        # observe (or leave behind, if killed mid-store) a torn entry; two
+        # workers racing on the same key both write the identical bytes, and
+        # whichever rename lands last wins harmlessly.
+        atomic_write_json(path, payload)
 
 
 # ---------------------------------------------------------------------------
@@ -206,14 +285,12 @@ def experiment_to_artifact(name: str, experiment: ExperimentResult,
             "operations_per_second": result.operations_per_second,
             "result": run_result_to_dict(result),
         })
-    config_digest = hashlib.sha256(
-        canonical_json(config_to_dict(config)).encode("utf-8")).hexdigest()
     payload: Dict[str, Any] = {
         "schema": EXPERIMENT_SCHEMA,
         "experiment": name,
         "created_unix": time.time(),
         "scale": scale_to_dict(experiment.scale),
-        "config_hash": f"sha256:{config_digest}",
+        "config_hash": config_hash_of(config),
         "runs": runs,
     }
     if meta:
@@ -226,13 +303,10 @@ def write_experiment_artifact(directory: Path, name: str,
                               config: SystemConfig,
                               meta: Optional[Dict[str, Any]] = None) -> Path:
     """Write ``<directory>/<name>.json`` and return its path."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"{name}.json"
-    payload = experiment_to_artifact(name, experiment, config, meta)
-    path.write_text(json.dumps(payload, sort_keys=True, indent=1),
-                    encoding="utf-8")
-    return path
+    path = Path(directory) / f"{name}.json"
+    return atomic_write_json(path,
+                             experiment_to_artifact(name, experiment,
+                                                    config, meta))
 
 
 def load_experiment_artifact(path: Path) -> Dict[str, Any]:

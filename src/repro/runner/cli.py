@@ -21,12 +21,25 @@ Subcommands
     Compare two artifact files run by run and exit non-zero when any run's
     throughput drops by more than the relative threshold (or disappears).
     CI uses this as its perf-regression gate: a committed baseline artifact
-    versus the fresh smoke run.
+    versus the fresh smoke run.  Both paths accept glob patterns, each of
+    which must resolve to exactly one artifact.
+
+``shard plan|work|merge|status``
+    The distributed execution tier (see :mod:`repro.distrib`): ``plan``
+    partitions one experiment into N ``repro.shard/1`` manifests under a
+    spool directory, ``work`` claims and executes pending shards (any
+    number of hosts sharing the spool may run it concurrently; crashed
+    shards resume from the shared run cache), ``merge`` provenance-checks
+    the shard artifacts and writes the final ``repro.experiment/1``
+    artifact — bit-identical in its runs to an unsharded execution — and
+    ``status`` shows where every shard stands.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as glob_module
+import json
 import sys
 import time
 from pathlib import Path
@@ -35,8 +48,24 @@ from typing import List, Optional, Sequence
 from ..analysis.experiments import ExperimentResult
 from ..analysis.reporting import format_table
 from ..api import Session
+from ..config import default_config
+from ..distrib import (
+    SHARD_MANIFEST_SCHEMA,
+    SHARD_RESULT_SCHEMA,
+    ShardSpool,
+    execute_shard_file,
+    experiment_tag,
+    load_shard_results,
+    merge_shards,
+    plan_shards,
+    work_spool,
+)
 from ..platforms.registry import PLATFORM_NAMES, available_platforms
-from ..workloads.registry import ExperimentScale, all_workload_names
+from ..workloads.registry import (
+    ExperimentScale,
+    all_workload_names,
+    scale_system_config,
+)
 from .artifacts import (
     EXPERIMENT_SCHEMA,
     experiment_from_artifact,
@@ -45,8 +74,35 @@ from .artifacts import (
 )
 from .presets import SMOKE_SCALE, ExperimentPreset, get_preset, preset_names
 from .regression import DEFAULT_THRESHOLD, diff_artifacts
+from .specs import matrix_specs
 
 DEFAULT_OUTPUT_DIR = Path("benchmarks") / "results"
+
+
+def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
+    """Ad-hoc experiment axes shared by ``run`` and ``shard plan``."""
+    parser.add_argument("--platforms", nargs="+", metavar="PLATFORM",
+                        help="ad-hoc experiment: platform registry names")
+    parser.add_argument("--workloads", nargs="+", metavar="WORKLOAD",
+                        help="ad-hoc experiment: Table III workload names")
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    """Scale knobs shared by ``run`` and ``shard plan``."""
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny-scale CI smoke run (defaults to the "
+                             "'smoke' preset)")
+    parser.add_argument("--capacity-scale", type=float, default=None,
+                        help="capacity shrink factor (e.g. 0.015625 for "
+                             "1/64)")
+    parser.add_argument("--instruction-scale", type=float, default=None,
+                        help="instruction-stream shrink factor")
+    parser.add_argument("--min-accesses", type=int, default=None,
+                        help="lower bound on trace length")
+    parser.add_argument("--max-accesses", type=int, default=None,
+                        help="upper bound on trace length")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace generator seed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,9 +116,6 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
                      help=f"preset names ({', '.join(preset_names())}); "
                           f"default: all figure presets")
-    run.add_argument("--smoke", action="store_true",
-                     help="tiny-scale CI smoke run (defaults to the 'smoke' "
-                          "preset)")
     run.add_argument("--workers", type=int, default=None,
                      help="worker processes (default: $REPRO_WORKERS or CPU "
                           "count)")
@@ -76,26 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the run cache entirely")
     run.add_argument("--force", action="store_true",
                      help="ignore cache hits but refresh stored runs")
-    run.add_argument("--platforms", nargs="+", metavar="PLATFORM",
-                     help="ad-hoc experiment: platform registry names")
-    run.add_argument("--workloads", nargs="+", metavar="WORKLOAD",
-                     help="ad-hoc experiment: Table III workload names")
-    run.add_argument("--capacity-scale", type=float, default=None,
-                     help="capacity shrink factor (e.g. 0.015625 for 1/64)")
-    run.add_argument("--instruction-scale", type=float, default=None,
-                     help="instruction-stream shrink factor")
-    run.add_argument("--min-accesses", type=int, default=None,
-                     help="lower bound on trace length")
-    run.add_argument("--max-accesses", type=int, default=None,
-                     help="upper bound on trace length")
-    run.add_argument("--seed", type=int, default=None,
-                     help="trace generator seed")
+    _add_matrix_arguments(run)
+    _add_scale_arguments(run)
     run.add_argument("--quiet", action="store_true",
                      help="only print the one-line summary per experiment")
     run.set_defaults(handler=cmd_run)
 
     lst = subparsers.add_parser(
         "list", help="list platforms, workloads and experiment presets")
+    lst.add_argument("--artifacts", type=Path, default=None,
+                     metavar="DIR",
+                     help="instead list the artifact JSONs under DIR with "
+                          "their schema and shard provenance")
     lst.set_defaults(handler=cmd_list)
 
     report = subparsers.add_parser(
@@ -107,14 +152,77 @@ def build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_OUTPUT_DIR,
                         help="directory holding the artifacts")
     report.add_argument("--diff", nargs=2, metavar=("BASELINE", "CANDIDATE"),
-                        type=Path, default=None,
-                        help="compare two artifact files; exit non-zero on "
+                        type=str, default=None,
+                        help="compare two artifact files (glob patterns "
+                             "resolving to one file each); exit non-zero on "
                              "a throughput regression past the threshold")
     report.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD,
                         help="relative regression tolerance for --diff "
                              f"(default: {DEFAULT_THRESHOLD})")
     report.set_defaults(handler=cmd_report)
+
+    shard = subparsers.add_parser(
+        "shard", help="distributed sharded execution over a spool directory")
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    plan = shard_sub.add_parser(
+        "plan", help="partition one experiment into N shard manifests")
+    plan.add_argument("experiment", nargs="?", metavar="EXPERIMENT",
+                      help="preset name (default: 'smoke' with --smoke)")
+    plan.add_argument("--shards", type=int, required=True,
+                      help="number of shard manifests to produce")
+    plan.add_argument("--spool", type=Path, required=True,
+                      help="spool directory (local FS or NFS) the workers "
+                           "share")
+    _add_matrix_arguments(plan)
+    _add_scale_arguments(plan)
+    plan.set_defaults(handler=cmd_shard_plan)
+
+    work = shard_sub.add_parser(
+        "work", help="claim and execute pending shards from a spool")
+    work.add_argument("manifests", nargs="*", type=Path, metavar="MANIFEST",
+                      help="explicit manifest/claim files to (re-)execute "
+                           "instead of claiming pending shards — the "
+                           "recovery path for orphaned claims")
+    work.add_argument("--spool", type=Path, required=True,
+                      help="spool directory to claim shards from")
+    work.add_argument("--workers", type=int, default=None,
+                      help="process-pool size per shard (default: "
+                           "$REPRO_WORKERS or CPU count)")
+    work.add_argument("--host", default=None,
+                      help="worker identity recorded in claims/results "
+                           "(default: hostname:pid)")
+    work.add_argument("--max-shards", type=int, default=None,
+                      help="stop after executing this many shards")
+    work.add_argument("--force", action="store_true",
+                      help="ignore run-cache hits but refresh stored runs")
+    work.set_defaults(handler=cmd_shard_work)
+
+    merge = shard_sub.add_parser(
+        "merge", help="validate and merge shard results into one artifact")
+    merge.add_argument("results", nargs="*", type=Path, metavar="RESULT",
+                       help="shard result files (default: every "
+                            "results/shard-*.json in the spool)")
+    merge.add_argument("--spool", type=Path, default=None,
+                       help="spool directory holding the shard results")
+    merge.add_argument("--experiment", default=None, metavar="NAME_OR_ID",
+                       help="merge only this plan's shards: an experiment "
+                            "name, a full experiment id, or the short id "
+                            "tag shown by `shard status` (required when "
+                            "several plans share the spool)")
+    merge.add_argument("--output", type=Path, default=None,
+                       help="merged artifact path (default: "
+                            "<spool>/<experiment>.json)")
+    merge.add_argument("--quiet", action="store_true",
+                       help="only print the one-line summary")
+    merge.set_defaults(handler=cmd_shard_merge)
+
+    status = shard_sub.add_parser(
+        "status", help="show pending/running/done state of every shard")
+    status.add_argument("--spool", type=Path, required=True,
+                        help="spool directory to inspect")
+    status.set_defaults(handler=cmd_shard_status)
 
     return parser
 
@@ -241,7 +349,54 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _artifact_provenance(payload: dict) -> str:
+    """One-line shard provenance of an artifact, or '' when unsharded."""
+    schema = payload.get("schema", "?")
+    if schema in (SHARD_MANIFEST_SCHEMA, SHARD_RESULT_SCHEMA):
+        host = payload.get("host") or payload.get(
+            "claim", {}).get("owner")
+        host_part = f", host {host}" if host else ""
+        return (f"  [shard {payload.get('shard_index', '?')}/"
+                f"{payload.get('shard_count', '?')}{host_part}]")
+    sharded = payload.get("meta", {}).get("sharded")
+    if sharded:
+        hosts = ",".join(dict.fromkeys(sharded.get("hosts", []))) or "?"
+        return (f"  [merged from {sharded.get('shard_count', '?')} "
+                f"shard(s), hosts {hosts}]")
+    return ""
+
+
+def cmd_list_artifacts(directory: Path) -> int:
+    paths = sorted(Path(directory).glob("*.json")) + \
+        sorted(Path(directory).glob("*/shard-*.json"))
+    if not paths:
+        print(f"error: no artifacts found under {directory}",
+              file=sys.stderr)
+        return 1
+    print(f"artifacts under {directory}:")
+    for path in paths:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            continue  # vanished mid-scan
+        except json.JSONDecodeError:
+            # An inspection command must surface broken artifacts, not
+            # hide exactly the files the operator is hunting for.
+            print(f"  {str(path.relative_to(directory)):32s} "
+                  f"(unreadable: not valid JSON)")
+            continue
+        schema = payload.get("schema") if isinstance(payload, dict) else None
+        if not isinstance(schema, str) or not schema.startswith("repro."):
+            continue  # foreign JSON legitimately sharing the directory
+        runs = payload.get("runs") or payload.get("specs") or []
+        print(f"  {str(path.relative_to(directory)):32s} {schema:22s} "
+              f"{len(runs):4d} runs{_artifact_provenance(payload)}")
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
+    if args.artifacts is not None:
+        return cmd_list_artifacts(args.artifacts)
     print("platforms (Figure 16 legend order):")
     for name in PLATFORM_NAMES:
         print(f"  {name}")
@@ -262,10 +417,33 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_artifact_pattern(pattern: str) -> Path:
+    """Expand one ``--diff`` operand: a literal path or a glob pattern.
+
+    The pattern must name exactly one artifact — sharded pipelines often
+    only know the spool directory, not the experiment name, so
+    ``spool/*.json`` style patterns are accepted as long as they are
+    unambiguous.
+    """
+    path = Path(pattern)
+    if path.is_file():
+        return path
+    matches = sorted(Path(match) for match in glob_module.glob(pattern))
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise ValueError(f"no artifact matches {pattern!r}")
+    listing = ", ".join(str(match) for match in matches)
+    raise ValueError(
+        f"pattern {pattern!r} is ambiguous ({len(matches)} matches: "
+        f"{listing})")
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     if args.diff is not None:
-        baseline_path, candidate_path = args.diff
         try:
+            baseline_path, candidate_path = (
+                _resolve_artifact_pattern(pattern) for pattern in args.diff)
             report = diff_artifacts(baseline_path, candidate_path,
                                     threshold=args.threshold)
         except (OSError, ValueError, KeyError, TypeError) as error:
@@ -311,6 +489,147 @@ def cmd_report(args: argparse.Namespace) -> int:
               f"{len(payload['runs'])} runs ==")
         print(_summarise(experiment, payload["experiment"], baseline))
     return status
+
+
+def _select_single_preset(args: argparse.Namespace) -> ExperimentPreset:
+    """``shard plan`` takes exactly one experiment (named or ad-hoc)."""
+    if args.experiment and (args.platforms or args.workloads):
+        raise ValueError(
+            f"cannot combine the {args.experiment!r} preset with "
+            f"--platforms/--workloads: name a preset or describe an "
+            f"ad-hoc matrix, not both")
+    args.experiments = [args.experiment] if args.experiment else []
+    presets = _select_presets(args)
+    if len(presets) != 1:
+        raise ValueError(
+            "shard plan needs exactly one experiment: name a preset, pass "
+            "--smoke, or give --platforms/--workloads")
+    return presets[0]
+
+
+def cmd_shard_plan(args: argparse.Namespace) -> int:
+    try:
+        preset = _select_single_preset(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    scale = _build_scale(args)
+    config = scale_system_config(default_config(), scale)
+    specs = matrix_specs(list(preset.platforms), list(preset.workloads))
+    try:
+        manifests = plan_shards(preset.name, specs, config, scale,
+                                args.shards, baseline=preset.baseline)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    spool = ShardSpool(args.spool).prepare()
+    paths = spool.add_manifests(manifests)
+    sizes = [len(manifest["specs"]) for manifest in manifests]
+    print(f"{preset.name}: planned {len(specs)} runs into "
+          f"{len(manifests)} shard(s) (sizes {sizes}) under "
+          f"{spool.pending_dir}")
+    skipped = len(manifests) - len(paths)
+    if skipped:
+        print(f"{skipped} shard(s) already claimed or done in this spool; "
+              f"queued {len(paths)}")
+    print(f"experiment id: {manifests[0]['experiment_id']}")
+    return 0
+
+
+def cmd_shard_work(args: argparse.Namespace) -> int:
+    spool = ShardSpool(args.spool).prepare()
+    try:
+        if args.manifests:
+            published = [
+                execute_shard_file(path, spool, workers=args.workers,
+                                   force=args.force, host=args.host)
+                for path in args.manifests]
+        else:
+            published = work_spool(spool, owner=args.host,
+                                   workers=args.workers, force=args.force,
+                                   max_shards=args.max_shards)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        # KeyError/TypeError cover structurally broken manifest files, the
+        # same class of bad input cmd_shard_merge guards against.
+        print(f"error: {error!r}", file=sys.stderr)
+        return 2
+    if not published:
+        print("no pending shards to claim")
+        return 0
+    for path in published:
+        print(f"shard result -> {path}")
+    return 0
+
+
+def cmd_shard_merge(args: argparse.Namespace) -> int:
+    if args.results:
+        result_paths = list(args.results)
+    elif args.spool is not None:
+        result_paths = ShardSpool(args.spool).result_paths()
+    else:
+        print("error: give shard result files or --spool", file=sys.stderr)
+        return 2
+    if args.output is None and args.spool is None:
+        # Fail the cheap precondition before loading and folding shards.
+        print("error: give --output when merging explicit result files",
+              file=sys.stderr)
+        return 2
+    try:
+        payloads = load_shard_results(result_paths)
+        if args.experiment is not None:
+            # Experiment names are not unique across plans (ad-hoc plans
+            # are all called 'custom'), so the selector also accepts the
+            # experiment id or its short tag.
+            def selected(payload: dict) -> bool:
+                experiment_id = payload.get("experiment_id", "")
+                return args.experiment in (payload.get("experiment"),
+                                           experiment_id,
+                                           experiment_tag(experiment_id))
+
+            payloads = [payload for payload in payloads if selected(payload)]
+            if not payloads:
+                print(f"error: no shard results for experiment "
+                      f"{args.experiment!r}", file=sys.stderr)
+                return 1
+        merged = merge_shards(payloads)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot merge shards ({error})", file=sys.stderr)
+        return 1
+    output = (args.output if args.output is not None
+              else Path(args.spool) / f"{merged.experiment}.json")
+    try:
+        path = merged.write_artifact(output)
+    except OSError as error:
+        print(f"error: cannot write merged artifact ({error})",
+              file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print()
+        print(_summarise(merged.result, merged.experiment,
+                         merged.baseline or "mmap"))
+        print()
+    hosts = ",".join(dict.fromkeys(merged.hosts)) or "none"
+    print(f"{merged.experiment}: merged {merged.total_runs} runs from "
+          f"{merged.shard_count} shard(s) (hosts {hosts}) -> {path}")
+    return 0
+
+
+def cmd_shard_status(args: argparse.Namespace) -> int:
+    spool = ShardSpool(args.spool)
+    status = spool.status()
+    if status.total == 0:
+        print(f"error: no shards found under {spool.root} "
+              f"(did `repro shard plan` run?)", file=sys.stderr)
+        return 1
+    print(f"spool {spool.root}: {len(status.done)} done, "
+          f"{len(status.running)} running, {len(status.pending)} pending")
+    for label in sorted(status.pending):
+        print(f"  {label}  pending")
+    for label, owner in sorted(status.running.items()):
+        print(f"  {label}  running  ({owner})")
+    for label in sorted(status.done):
+        print(f"  {label}  done")
+    return 0 if status.complete else 3
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

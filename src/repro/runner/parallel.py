@@ -96,6 +96,12 @@ def _worker_run(spec: RunSpec) -> RunResult:
     return execute_spec(spec, _WORKER_CONFIG, _WORKER_SCALE, _WORKER_TRACES)
 
 
+def _worker_run_indexed(item: tuple) -> tuple:
+    """(index, spec) -> (index, result), for order-free result streaming."""
+    index, spec = item
+    return index, _worker_run(spec)
+
+
 def _pool_context():
     """Fork on Linux (cheap), spawn everywhere else.
 
@@ -129,8 +135,10 @@ class ParallelExperimentRunner(ExperimentRunner):
                  base_config: Optional[SystemConfig] = None,
                  workers: Optional[int] = None,
                  cache_dir: Optional[Path] = None,
-                 force: bool = False) -> None:
-        super().__init__(scale=scale, base_config=base_config)
+                 force: bool = False,
+                 scaled_config: Optional[SystemConfig] = None) -> None:
+        super().__init__(scale=scale, base_config=base_config,
+                         scaled_config=scaled_config)
         self.workers = resolve_worker_count(workers)
         self.cache = RunCache(cache_dir)
         self.force = force
@@ -160,11 +168,20 @@ class ParallelExperimentRunner(ExperimentRunner):
                 pending.append(index)
 
         if pending:
+            # Results stream into the cache as they complete (not in one
+            # batch at the end), so a runner killed mid-way leaves every
+            # finished run behind and a restart resumes instead of
+            # recomputing — the resume contract of distributed shard workers.
+            def record(index: int, result: RunResult) -> None:
+                results[index] = result
+                if self.cache.enabled:
+                    self.cache.store(keys[index], specs[index], result)
+
             if self.workers <= 1 or len(pending) == 1:
                 for index in pending:
-                    results[index] = execute_spec(
+                    record(index, execute_spec(
                         specs[index], self.config, self.scale,
-                        self._trace_cache)
+                        self._trace_cache))
             else:
                 context = _pool_context()
                 processes = min(self.workers, len(pending))
@@ -176,15 +193,14 @@ class ParallelExperimentRunner(ExperimentRunner):
                 with context.Pool(processes=processes,
                                   initializer=_worker_init,
                                   initargs=(self.config, self.scale)) as pool:
-                    fresh = pool.map(_worker_run,
-                                     [specs[index] for index in pending],
-                                     chunksize=chunksize)
-                for index, result in zip(pending, fresh):
-                    results[index] = result
-            if self.cache.enabled:
-                for index in pending:
-                    self.cache.store(keys[index], specs[index],
-                                     results[index])
+                    # Unordered: each result is cached the moment its chunk
+                    # finishes, not held behind slower earlier chunks; the
+                    # explicit index keeps the output order deterministic.
+                    for index, result in pool.imap_unordered(
+                            _worker_run_indexed,
+                            [(index, specs[index]) for index in pending],
+                            chunksize=chunksize):
+                        record(index, result)
 
         return results  # type: ignore[return-value]
 

@@ -58,6 +58,34 @@ class RunSpec:
             "platform_kwargs": dict(sorted(self.platform_kwargs.items())),
         }
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON form: the canonical payload plus the result-key label.
+
+        The label renames the experiment-result key but does not change what
+        is executed, so it stays out of :meth:`canonical` (and hence out of
+        the run-cache key) while shard manifests still need it to reproduce
+        the exact experiment layout.
+        """
+        payload = self.canonical()
+        payload["label"] = self.label
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild the exact spec :meth:`to_dict` serialised."""
+        return RunSpec(
+            platform=payload["platform"],
+            workload=payload["workload"],
+            dataset_bytes_override=payload.get("dataset_bytes_override"),
+            config_overrides={
+                section: dict(fields)
+                for section, fields in
+                dict(payload.get("config_overrides") or {}).items()
+            },
+            platform_kwargs=dict(payload.get("platform_kwargs") or {}),
+            label=payload.get("label"),
+        )
+
 
 def apply_config_overrides(config: SystemConfig,
                            overrides: Mapping[str, Mapping[str, Any]]

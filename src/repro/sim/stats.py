@@ -26,9 +26,10 @@ class Counter:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         self.value += amount
 
-    def merge(self, other: "Counter") -> None:
+    def merge(self, other: "Counter") -> "Counter":
         """Fold another counter into this one (parallel-run merge)."""
         self.value += other.value
+        return self
 
     def reset(self) -> None:
         self.value = 0.0
@@ -80,10 +81,16 @@ class LatencyStat:
     def stddev(self) -> float:
         return math.sqrt(self.variance)
 
-    def merge(self, other: "LatencyStat") -> None:
-        """Fold another aggregate into this one (parallel merge formula)."""
+    def merge(self, other: "LatencyStat") -> "LatencyStat":
+        """Fold another aggregate into this one (parallel merge formula).
+
+        Chan et al.'s pairwise Welford combination: count/min/max are exact
+        in any merge order; total, mean and M2 reassociate float sums, so
+        shard order perturbs at most the last ulps (the property tests pin
+        this down).
+        """
         if other.count == 0:
-            return
+            return self
         if self.count == 0:
             self.count = other.count
             self.total = other.total
@@ -91,7 +98,7 @@ class LatencyStat:
             self.max = other.max
             self._mean = other._mean
             self._m2 = other._m2
-            return
+            return self
         combined = self.count + other.count
         delta = other._mean - self._mean
         self._m2 += other._m2 + delta * delta * self.count * other.count / combined
@@ -100,6 +107,7 @@ class LatencyStat:
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        return self
 
     def reset(self) -> None:
         self.count = 0
@@ -149,8 +157,12 @@ class Histogram:
         labels = [f"<={bound:g}" for bound in self.bounds] + ["overflow"]
         return dict(zip(labels, self.counts))
 
-    def merge(self, other: "Histogram") -> None:
-        """Fold another histogram into this one; bucket bounds must match."""
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram into this one; bucket bounds must match.
+
+        Bucket counts are integers, so histogram merges are exact and fully
+        associative/commutative regardless of shard order.
+        """
         if other.bounds != self.bounds:
             raise ValueError(
                 f"cannot merge histogram {other.name!r} into {self.name!r}: "
@@ -158,6 +170,7 @@ class Histogram:
         self.counts = [mine + theirs
                        for mine, theirs in zip(self.counts, other.counts)]
         self.total_samples += other.total_samples
+        return self
 
     def reset(self) -> None:
         self.counts = [0] * (len(self.bounds) + 1)
@@ -201,14 +214,15 @@ class StatRegistry:
             out[f"{base}.max_ns"] = stat.max if stat.count else 0.0
         return out
 
-    def merge(self, other: "StatRegistry") -> None:
+    def merge(self, other: "StatRegistry") -> "StatRegistry":
         """Fold the statistics of *other* into this registry.
 
         Counters add, latency aggregates combine via the parallel Welford
         merge, histograms add bucket-wise.  Names present only in *other*
         are created here first, so no statistic is lost.  This is the
-        aggregation primitive for sharded execution (see ROADMAP): the
-        in-process runner ships ``RunResult`` records instead.
+        aggregation primitive the ``repro.distrib`` shard coordinator
+        relies on; ``tests/test_merge_properties.py`` pins the split-
+        invariance and merge-order-insensitivity it assumes.
         """
         for name, counter in other.counters.items():
             self.counter(name).merge(counter)
@@ -216,6 +230,7 @@ class StatRegistry:
             self.latency(name).merge(stat)
         for name, histogram in other.histograms.items():
             self.histogram(name, histogram.bounds).merge(histogram)
+        return self
 
     def reset(self) -> None:
         for counter in self.counters.values():

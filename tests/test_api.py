@@ -3,7 +3,16 @@
 import pytest
 
 import repro
-from repro.api import Session, compare, platforms, simulate, sweep, workloads
+from repro.api import (
+    Session,
+    compare,
+    platforms,
+    run_sharded,
+    simulate,
+    sweep,
+    workloads,
+)
+from repro.runner.artifacts import run_result_to_dict
 from repro.platforms.registry import PLATFORM_NAMES, available_platforms
 from repro.runner.specs import RunSpec
 from repro.units import KB
@@ -91,12 +100,76 @@ class TestModuleLevelHelpers:
         assert workloads() == all_workload_names()
 
 
+def _as_dicts(experiment):
+    return {key: run_result_to_dict(result)
+            for key, result in experiment.results.items()}
+
+
+class TestShardedFacade:
+    def test_run_sharded_matches_compare(self, session):
+        direct = session.compare(["mmap", "oracle"], ["seqRd", "update"])
+        sharded = run_sharded(["mmap", "oracle"], ["seqRd", "update"],
+                              shards=3, scale=SCALE, workers=1)
+        assert _as_dicts(sharded) == _as_dicts(direct)
+
+    def test_session_default_shards_routes_every_verb(self, session):
+        sharded_session = Session(SCALE, workers=1, shards=2)
+        direct = session.compare(["mmap", "oracle"], ["seqRd"])
+        assert _as_dicts(sharded_session.compare(
+            ["mmap", "oracle"], ["seqRd"])) == _as_dicts(direct)
+        assert _as_dicts(sharded_session.collect(
+            [RunSpec("mmap", "seqRd"), RunSpec("oracle", "seqRd")])) == \
+            _as_dicts(direct)
+
+    def test_sweep_accepts_shards(self, session):
+        direct = session.sweep("hams-TE", ["update"], "hams",
+                               "mos_page_bytes", [KB(4), KB(128)],
+                               labels=["4KB", "128KB"])
+        sharded = session.sweep("hams-TE", ["update"], "hams",
+                                "mos_page_bytes", [KB(4), KB(128)],
+                                labels=["4KB", "128KB"], shards=2)
+        assert _as_dicts(sharded) == _as_dicts(direct)
+
+    def test_sharded_session_honors_its_cache_dir(self, tmp_path,
+                                                  monkeypatch):
+        cache_dir = tmp_path / "cache"
+        first = Session(SCALE, workers=1, shards=2, cache_dir=cache_dir)
+        expected = _as_dicts(first.compare(["mmap", "oracle"], ["seqRd"]))
+        assert list(cache_dir.glob("*.json"))
+
+        # A later sharded session over the same cache resolves every run
+        # from it without executing anything.
+        from repro.runner import parallel as parallel_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cached sharded run must not re-execute")
+
+        monkeypatch.setattr(parallel_module, "execute_spec", boom)
+        replay = Session(SCALE, workers=1, shards=2, cache_dir=cache_dir)
+        assert _as_dicts(replay.compare(["mmap", "oracle"],
+                                        ["seqRd"])) == expected
+
+    def test_shards_zero_means_unsharded(self):
+        """The natural env-var 'off' value must not crash the planner."""
+        session = Session(SCALE, workers=1, shards=0)
+        experiment = session.compare(["mmap"], ["seqRd"])
+        assert ("mmap", "seqRd") in experiment.results
+
+    def test_run_sharded_keeps_spool_artifacts(self, tmp_path):
+        run_sharded(["mmap"], ["seqRd"], shards=2, scale=SCALE, workers=1,
+                    spool_dir=tmp_path / "spool")
+        results = sorted(
+            (tmp_path / "spool" / "results").glob("shard-*.json"))
+        assert len(results) == 2
+
+
 class TestTopLevelExports:
     def test_facade_reexported_from_repro(self):
         assert repro.Session is Session
         assert repro.simulate is simulate
         assert repro.compare is compare
         assert repro.sweep is sweep
+        assert repro.run_sharded is run_sharded
 
     def test_batch_protocol_exported(self):
         for name in ("AccessStream", "MemoryRequestBatch",

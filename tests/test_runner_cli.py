@@ -161,6 +161,216 @@ class TestReportCommand:
         assert "cannot read artifact" in capsys.readouterr().err
 
 
+#: Shared tiny-scale knobs so every CLI shard run finishes in well under a
+#: second: the smoke scale shrunk further via the plan/run scale flags.
+TINY_FLAGS = ["--smoke", "--min-accesses", "100", "--max-accesses", "200"]
+
+
+class TestShardCLI:
+    def _plan(self, spool, shards=2):
+        return main(["shard", "plan", "--shards", str(shards),
+                     "--spool", str(spool),
+                     "--platforms", "mmap", "hams-TE",
+                     "--workloads", "seqRd"] + TINY_FLAGS)
+
+    def test_plan_work_status_merge_round_trip(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        assert self._plan(spool) == 0
+        out = capsys.readouterr().out
+        assert "planned 2 runs into 2 shard(s)" in out
+        assert "experiment id: sha256:" in out
+        assert len(list((spool / "pending").glob("shard-*.json"))) == 2
+
+        # An incomplete spool reports non-zero so scripts can wait on it.
+        assert main(["shard", "status", "--spool", str(spool)]) == 3
+        capsys.readouterr()
+
+        assert main(["shard", "work", "--spool", str(spool),
+                     "--workers", "1", "--host", "worker-a"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("shard result ->") == 2
+
+        assert main(["shard", "status", "--spool", str(spool)]) == 0
+        assert "2 done, 0 running, 0 pending" in capsys.readouterr().out
+
+        assert main(["shard", "merge", "--spool", str(spool),
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 runs from 2 shard(s) (hosts worker-a)" in out
+        payload = json.loads((spool / "custom.json")
+                             .read_text(encoding="utf-8"))
+        assert payload["schema"] == EXPERIMENT_SCHEMA
+        assert payload["meta"]["sharded"]["shard_count"] == 2
+        assert payload["meta"]["sharded"]["hosts"] == ["worker-a",
+                                                       "worker-a"]
+
+    def test_merged_artifact_matches_unsharded_run(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        self._plan(spool)
+        main(["shard", "work", "--spool", str(spool), "--workers", "1"])
+        main(["shard", "merge", "--spool", str(spool), "--quiet"])
+        main(["run", "--workers", "1", "--no-cache", "--quiet",
+              "--output-dir", str(tmp_path / "direct"),
+              "--platforms", "mmap", "hams-TE",
+              "--workloads", "seqRd"] + TINY_FLAGS)
+        capsys.readouterr()
+        sharded = json.loads((spool / "custom.json")
+                             .read_text(encoding="utf-8"))
+        direct = json.loads((tmp_path / "direct" / "custom.json")
+                            .read_text(encoding="utf-8"))
+        assert json.dumps(sharded["runs"], sort_keys=True) == \
+            json.dumps(direct["runs"], sort_keys=True)
+        assert sharded["config_hash"] == direct["config_hash"]
+        # ... and `repro report --diff` agrees at threshold zero.
+        assert main(["report", "--diff",
+                     str(tmp_path / "direct" / "custom.json"),
+                     str(spool / "custom.json"),
+                     "--threshold", "0"]) == 0
+
+    def test_work_explicit_manifest_is_the_recovery_path(self, tmp_path,
+                                                         capsys):
+        spool = tmp_path / "spool"
+        self._plan(spool)
+        manifest = sorted((spool / "pending").glob("shard-*.json"))[0]
+        assert main(["shard", "work", "--spool", str(spool),
+                     "--workers", "1", str(manifest)]) == 0
+        capsys.readouterr()
+        assert not manifest.exists()
+        assert (spool / "results" / manifest.name).is_file()
+
+    def test_merge_experiment_selector_on_a_shared_spool(self, tmp_path,
+                                                         capsys):
+        spool = tmp_path / "spool"
+        # Two plans share one spool: the named smoke preset and an ad-hoc
+        # custom matrix.
+        main(["shard", "plan", "--shards", "1", "--spool", str(spool),
+              "--platforms", "mmap", "--workloads", "seqRd"] + TINY_FLAGS)
+        main(["shard", "plan", "smoke", "--shards", "1",
+              "--spool", str(spool)] + TINY_FLAGS)
+        main(["shard", "work", "--spool", str(spool), "--workers", "1"])
+        capsys.readouterr()
+        # Unfiltered merge cannot pick a plan; the selector can.
+        assert main(["shard", "merge", "--spool", str(spool)]) == 1
+        assert "disagree" in capsys.readouterr().err
+        assert main(["shard", "merge", "--spool", str(spool),
+                     "--experiment", "custom", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["shard", "merge", "--spool", str(spool),
+                     "--experiment", "smoke", "--quiet"]) == 0
+        capsys.readouterr()
+        assert (spool / "custom.json").is_file()
+        assert (spool / "smoke.json").is_file()
+        assert main(["shard", "merge", "--spool", str(spool),
+                     "--experiment", "nope"]) == 1
+        assert "no shard results for experiment" in \
+            capsys.readouterr().err
+        # The selector also accepts the short experiment-id tag, the only
+        # unambiguous handle when plans share a name.
+        tag = sorted((spool / "results").glob("shard-*.json"))[0] \
+            .name.split("-")[1]
+        assert main(["shard", "merge", "--spool", str(spool),
+                     "--experiment", tag, "--quiet",
+                     "--output", str(tmp_path / "by-tag.json")]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "by-tag.json").is_file()
+
+    def test_merge_incomplete_spool_fails(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        self._plan(spool)
+        main(["shard", "work", "--spool", str(spool), "--workers", "1",
+              "--max-shards", "1"])
+        capsys.readouterr()
+        assert main(["shard", "merge", "--spool", str(spool)]) == 1
+        assert "missing shard(s)" in capsys.readouterr().err
+
+    def test_plan_without_experiment_is_an_error(self, tmp_path, capsys):
+        status = main(["shard", "plan", "--shards", "2",
+                       "--spool", str(tmp_path / "spool")])
+        assert status == 2
+        assert "exactly one experiment" in capsys.readouterr().err
+
+    def test_plan_rejects_preset_plus_adhoc_matrix(self, tmp_path, capsys):
+        status = main(["shard", "plan", "smoke", "--shards", "2",
+                       "--spool", str(tmp_path / "spool"),
+                       "--platforms", "mmap", "--workloads", "seqRd"])
+        assert status == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_work_on_empty_spool_says_so(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        self._plan(spool)
+        main(["shard", "work", "--spool", str(spool), "--workers", "1"])
+        capsys.readouterr()
+        assert main(["shard", "work", "--spool", str(spool),
+                     "--workers", "1"]) == 0
+        assert "no pending shards" in capsys.readouterr().out
+
+    def test_status_on_missing_spool_fails(self, tmp_path, capsys):
+        assert main(["shard", "status",
+                     "--spool", str(tmp_path / "nowhere")]) == 1
+        assert "no shards found" in capsys.readouterr().err
+
+
+class TestReportDiffGlobs:
+    def _two_artifacts(self, tmp_path):
+        main(["run", "--workers", "1", "--no-cache", "--quiet",
+              "--output-dir", str(tmp_path),
+              "--platforms", "mmap", "--workloads", "seqRd"] + TINY_FLAGS)
+
+    def test_diff_accepts_glob_patterns(self, tmp_path, capsys):
+        self._two_artifacts(tmp_path)
+        capsys.readouterr()
+        status = main(["report", "--diff",
+                       str(tmp_path / "cust*.json"),
+                       str(tmp_path / "*.json"),
+                       "--threshold", "0"])
+        assert status == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_unmatched_pattern_is_an_error(self, tmp_path, capsys):
+        self._two_artifacts(tmp_path)
+        capsys.readouterr()
+        status = main(["report", "--diff",
+                       str(tmp_path / "nope*.json"),
+                       str(tmp_path / "custom.json")])
+        assert status == 2
+        assert "no artifact matches" in capsys.readouterr().err
+
+    def test_ambiguous_pattern_is_an_error(self, tmp_path, capsys):
+        self._two_artifacts(tmp_path)
+        (tmp_path / "custom2.json").write_text(
+            (tmp_path / "custom.json").read_text(encoding="utf-8"),
+            encoding="utf-8")
+        capsys.readouterr()
+        status = main(["report", "--diff",
+                       str(tmp_path / "custom*.json"),
+                       str(tmp_path / "custom.json")])
+        assert status == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+
+class TestListArtifacts:
+    def test_list_artifacts_prints_shard_provenance(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        main(["shard", "plan", "--shards", "2", "--spool", str(spool),
+              "--platforms", "mmap", "hams-TE",
+              "--workloads", "seqRd"] + TINY_FLAGS)
+        main(["shard", "work", "--spool", str(spool), "--workers", "1",
+              "--host", "worker-a"])
+        main(["shard", "merge", "--spool", str(spool), "--quiet"])
+        capsys.readouterr()
+        assert main(["list", "--artifacts", str(spool)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.experiment/1" in out
+        assert "[merged from 2 shard(s), hosts worker-a]" in out
+        assert "repro.shard-result/1" in out
+        assert "[shard 0/2, host worker-a]" in out
+
+    def test_list_artifacts_empty_directory_fails(self, tmp_path, capsys):
+        assert main(["list", "--artifacts", str(tmp_path)]) == 1
+        assert "no artifacts" in capsys.readouterr().err
+
+
 class TestWorkerEnv:
     def test_malformed_repro_workers_is_a_clean_cli_error(
             self, tmp_path, capsys, monkeypatch):
