@@ -20,9 +20,11 @@ ordering — the part of the figures we reproduce — is insensitive to it.
 
 Setting ``$REPRO_BENCH_SHARDS`` to an integer > 0 routes every figure's
 matrix through the ``repro.distrib`` sharding tier (plan → work → merge in
-this process).  The results are bit-identical either way — that is the
-distrib tier's contract — so this is a way to measure the sharding
-overhead on real figure matrices, not a different experiment.
+this process), and ``$REPRO_BENCH_EXECUTOR`` (``serial``/``pool``/
+``sharded``) pins the execution tier outright.  The results are
+bit-identical either way — that is the executor layer's contract — so
+these are ways to measure each tier's overhead on real figure matrices,
+not different experiments.
 """
 
 from __future__ import annotations
@@ -46,6 +48,9 @@ try:
 except ValueError:
     raise SystemExit(f"$REPRO_BENCH_SHARDS must be an integer, "
                      f"got {_BENCH_SHARDS_RAW!r}") from None
+
+#: Execution tier override: serial | pool | sharded (empty: the default).
+BENCH_EXECUTOR = os.environ.get("REPRO_BENCH_EXECUTOR", "").strip() or None
 
 #: All figure tables are appended here as well as printed, so the numbers
 #: survive pytest's stdout capture of passing tests.
@@ -80,6 +85,7 @@ def record_figure(figure: str, tables: Mapping[str, Any],
         "created_unix": time.time(),
         "host": socket.gethostname(),
         "shards": BENCH_SHARDS,
+        "executor": BENCH_EXECUTOR or "default",
         "tables": dict(tables),
     }
     if meta:
@@ -102,13 +108,15 @@ SMALL_SCALE = ExperimentScale(capacity_scale=1 / 128, min_accesses=1_000,
 @pytest.fixture(scope="session")
 def bench_runner() -> Session:
     """Session shared by the application-level figure benchmarks."""
-    return Session(BENCH_SCALE, shards=BENCH_SHARDS)
+    return Session(BENCH_SCALE, shards=BENCH_SHARDS,
+                   executor=BENCH_EXECUTOR)
 
 
 @pytest.fixture(scope="session")
 def small_runner() -> Session:
     """Session shared by the motivation-figure benchmarks."""
-    return Session(SMALL_SCALE, shards=BENCH_SHARDS)
+    return Session(SMALL_SCALE, shards=BENCH_SHARDS,
+                   executor=BENCH_EXECUTOR)
 
 
 def run_once(benchmark, function):

@@ -20,6 +20,17 @@ Quick start (see :mod:`repro.api` for the full facade)::
 """
 
 from .api import Session, compare, run_sharded, simulate, sweep
+from .exec import (
+    Event,
+    Executor,
+    ExperimentCancelled,
+    ExperimentHandle,
+    PoolExecutor,
+    ProgressSnapshot,
+    SerialExecutor,
+    ShardedExecutor,
+    StreamedRun,
+)
 from .config import (
     CPUConfig,
     DDRConfig,
@@ -62,6 +73,15 @@ __all__ = [
     "compare",
     "sweep",
     "run_sharded",
+    "Event",
+    "Executor",
+    "ExperimentCancelled",
+    "ExperimentHandle",
+    "PoolExecutor",
+    "ProgressSnapshot",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "StreamedRun",
     "AccessStream",
     "MemoryAccess",
     "WorkloadTrace",

@@ -5,23 +5,29 @@ out-of-tree scripts — needs to replay (platform x workload) experiments
 lives behind this one module:
 
 * :class:`Session` — owns the experiment scale, the scaled Table II system
-  configuration, the worker pool and the content-addressed run cache, and
-  exposes the replay verbs,
+  configuration, the worker pool, the content-addressed run cache and the
+  execution tier, and exposes the replay verbs,
+* :meth:`Session.submit` — the unified entry point: hand specs to an
+  :class:`~repro.exec.Executor` (serial, pool or sharded) and get a
+  streaming :class:`~repro.exec.ExperimentHandle` back immediately,
 * :func:`simulate` / :func:`compare` / :func:`sweep` — one-shot conveniences
   that build a throwaway session,
 * :func:`run_sharded` — plan/execute/merge an experiment through the
   :mod:`repro.distrib` sharding tier (bit-identical to the unsharded run),
 * :func:`platforms` / :func:`workloads` — the valid axis names.
 
-The facade is a thin, stable skin over the runner subsystem: a
-:class:`Session` fans work out over a process pool exactly like
-``python -m repro run`` does, every run is described by a picklable
-:class:`~repro.runner.specs.RunSpec`, and results come back as
+The facade is a thin, stable skin over the execution layer: a
+:class:`Session` submits picklable :class:`~repro.runner.specs.RunSpec`
+records to an executor, and results come back as
 :class:`~repro.platforms.base.RunResult` records or
-:class:`~repro.analysis.experiments.ExperimentResult` matrices.  Reaching
-below it (``Platform``, ``WorkloadTrace``, the device models) remains
-supported for platform authors, but the names here are the ones the
-project promises to keep.
+:class:`~repro.analysis.experiments.ExperimentResult` matrices.  The
+blocking verbs (:meth:`Session.collect` / :meth:`Session.compare` /
+:meth:`Session.sweep`) are consumers of :meth:`Session.submit` — they
+simply drain the handle — and stay supported indefinitely; out-of-tree
+callers migrate to ``submit()`` only when they want streaming results,
+progress or cancellation.  Reaching below the facade (``Platform``,
+``WorkloadTrace``, the device models) remains supported for platform
+authors, but the names here are the ones the project promises to keep.
 
 Quick start::
 
@@ -33,6 +39,14 @@ Quick start::
 
     experiment = session.compare(["mmap", "hams-TE", "oracle"], ["seqRd"])
     print(experiment.mean_speedup("hams-TE", "mmap"))
+
+Streaming::
+
+    handle = session.submit(specs, name="sweep")
+    for run in handle.iter_results():      # as each run completes
+        print(run.spec.platform, run.result.operations_per_second,
+              "cached" if run.cache_hit else "", handle.progress().format())
+    experiment = handle.result()           # == session.collect(specs)
 """
 
 from __future__ import annotations
@@ -42,7 +56,12 @@ from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
 
 from .analysis.experiments import ExperimentResult
 from .config import SystemConfig
-from .distrib import run_sharded_specs
+from .exec import (
+    ExecutionContext,
+    Executor,
+    ExperimentHandle,
+    resolve_executor,
+)
 from .platforms.base import RunResult
 from .platforms.registry import PLATFORM_NAMES, available_platforms
 from .runner.parallel import ParallelExperimentRunner
@@ -81,6 +100,13 @@ class Session:
     *workers* sizes the process pool (``None``: ``$REPRO_WORKERS`` or the
     CPU count), and *cache_dir* enables the content-addressed run cache.
 
+    *executor* selects the execution tier every verb goes through:
+    ``"serial"`` (inline, no pool), ``"pool"`` (the default process-pool
+    tier), ``"sharded"`` (the :mod:`repro.distrib` plan/claim/merge
+    protocol), or any object implementing the
+    :class:`~repro.exec.Executor` protocol.  All tiers produce
+    bit-identical results — the knob trades mechanism, not answers.
+
     *shards* routes every matrix verb (:meth:`collect`, :meth:`compare`,
     :meth:`sweep`) through the :mod:`repro.distrib` sharding tier by
     default: the spec list is planned into that many shard manifests,
@@ -94,12 +120,14 @@ class Session:
                  workers: Optional[int] = None,
                  cache_dir: Optional[Path] = None,
                  force: bool = False,
+                 executor: Union[str, Executor, None] = None,
                  shards: Optional[int] = None,
                  spool_dir: Optional[Path] = None,
                  wait_timeout: Optional[float] = None) -> None:
         self._runner = ParallelExperimentRunner(
             scale=scale, base_config=base_config, workers=workers,
             cache_dir=cache_dir, force=force)
+        self._executor = executor
         self._shards = shards
         self._spool_dir = spool_dir
         # Bounds how long a sharded run waits on shards claimed by workers
@@ -159,35 +187,49 @@ class Session:
             return None
         return value
 
+    def submit(self, specs: Sequence[RunSpec], *,
+               name: str = "session",
+               executor: Union[str, Executor, None] = None,
+               shards: Optional[int] = None,
+               events_path: Optional[Path] = None) -> ExperimentHandle:
+        """Hand *specs* to an executor; returns a streaming handle at once.
+
+        The unified entry point every blocking verb consumes.  *executor*
+        overrides the session's tier for this submission; with neither, the
+        pool tier runs (or the sharded tier when *shards* — per-call or
+        session-level — is in play).  *events_path* additionally dumps the
+        typed event stream as a ``repro.events/1`` JSONL artifact.
+
+        The handle's :meth:`~repro.exec.ExperimentHandle.result` is
+        bit-identical to :meth:`collect` on the same specs, on every tier.
+        """
+        shards = self._effective_shards(shards)
+        chosen = resolve_executor(
+            executor if executor is not None else self._executor,
+            shards=shards)
+        ctx = ExecutionContext(
+            runner=self._runner, name=name, shards=shards,
+            spool_dir=self._spool_dir, wait_timeout=self._wait_timeout,
+            events_path=events_path)
+        return chosen.submit(specs, ctx)
+
     def collect(self, specs: Sequence[RunSpec], *,
                 shards: Optional[int] = None,
                 name: str = "session") -> ExperimentResult:
         """Execute specs and merge the runs into one ExperimentResult.
 
-        With *shards* (or a session-level default), execution goes through
-        the plan/work/merge pipeline of :mod:`repro.distrib` instead of one
+        A blocking consumer of :meth:`submit` (it drains the handle).  With
+        *shards* (or a session-level default), execution goes through the
+        plan/claim/merge protocol of :mod:`repro.distrib` instead of one
         pool call — same results, shard artifacts on the side.
         """
-        shards = self._effective_shards(shards)
-        if shards is None:
-            return self._runner.collect(specs)
-        return run_sharded_specs(
-            name, list(specs), self.config, self.scale, shards,
-            spool_dir=self._spool_dir, workers=self.workers,
-            force=self._runner.force,
-            # The session's own content-addressed cache keeps serving (and
-            # absorbing) runs when execution is sharded.
-            cache_dir=self._runner.cache.root,
-            wait_timeout=self._wait_timeout)
+        return self.submit(specs, name=name, shards=shards).result()
 
     def compare(self, platforms: Iterable[str], workloads: Iterable[str], *,
                 shards: Optional[int] = None) -> ExperimentResult:
         """Replay the full (platform x workload) matrix."""
-        shards = self._effective_shards(shards)
-        if shards is None:
-            return self._runner.run_matrix(platforms, workloads)
         return self.collect(matrix_specs(list(platforms), list(workloads)),
-                            shards=shards)
+                            shards=shards, name="compare")
 
     def sweep(self, platform: str, workloads: Iterable[str],
               section: str, field: str, values: Sequence[Any], *,
@@ -216,8 +258,12 @@ class Session:
 
 
 def _session(scale: Optional[ExperimentScale],
-             workers: Optional[int]) -> Session:
-    return Session(scale=scale, workers=workers)
+             workers: Optional[int], *,
+             executor: Union[str, Executor, None] = None,
+             spool_dir: Optional[Path] = None,
+             wait_timeout: Optional[float] = None) -> Session:
+    return Session(scale=scale, workers=workers, executor=executor,
+                   spool_dir=spool_dir, wait_timeout=wait_timeout)
 
 
 def simulate(platform: str, workload: str, *,
@@ -229,20 +275,36 @@ def simulate(platform: str, workload: str, *,
 
 def compare(platforms: Iterable[str], workloads: Iterable[str], *,
             scale: Optional[ExperimentScale] = None,
-            workers: Optional[int] = None) -> ExperimentResult:
-    """One-shot :meth:`Session.compare` with a throwaway session."""
-    return _session(scale, workers).compare(platforms, workloads)
+            workers: Optional[int] = None,
+            executor: Union[str, Executor, None] = None,
+            shards: Optional[int] = None,
+            spool_dir: Optional[Path] = None,
+            wait_timeout: Optional[float] = None) -> ExperimentResult:
+    """One-shot :meth:`Session.compare` with a throwaway session.
+
+    Accepts the same execution knobs as :func:`sweep` — the two one-shot
+    matrix helpers are deliberately symmetric: *executor* picks the tier,
+    *shards* routes through the distributed tier, *spool_dir* keeps the
+    shard artifacts, *wait_timeout* bounds waiting on foreign workers.
+    """
+    return _session(scale, workers, executor=executor, spool_dir=spool_dir,
+                    wait_timeout=wait_timeout).compare(platforms, workloads,
+                                                       shards=shards)
 
 
 def sweep(platform: str, workloads: Iterable[str], section: str, field: str,
           values: Sequence[Any], *, labels: Optional[Sequence[str]] = None,
           scale: Optional[ExperimentScale] = None,
           workers: Optional[int] = None,
-          shards: Optional[int] = None) -> ExperimentResult:
+          executor: Union[str, Executor, None] = None,
+          shards: Optional[int] = None,
+          spool_dir: Optional[Path] = None,
+          wait_timeout: Optional[float] = None) -> ExperimentResult:
     """One-shot :meth:`Session.sweep` with a throwaway session."""
-    return _session(scale, workers).sweep(platform, workloads, section,
-                                          field, values, labels=labels,
-                                          shards=shards)
+    return _session(scale, workers, executor=executor, spool_dir=spool_dir,
+                    wait_timeout=wait_timeout).sweep(
+        platform, workloads, section, field, values, labels=labels,
+        shards=shards)
 
 
 def run_sharded(platforms: Iterable[str], workloads: Iterable[str], *,
@@ -254,6 +316,12 @@ def run_sharded(platforms: Iterable[str], workloads: Iterable[str], *,
                 spool_dir: Optional[Path] = None,
                 wait_timeout: Optional[float] = None) -> ExperimentResult:
     """Replay a matrix through the distributed tier: plan, work, merge.
+
+    .. deprecated:: PR 4
+        A working shim kept for out-of-tree callers;
+        ``Session(shards=N).compare(...)`` — or ``Session(executor=
+        "sharded").submit(...)`` for streaming results — is the same thing
+        through the unified executor layer.
 
     The "cluster of one" convenience: shards are planned, executed in this
     process and provenance-check merged, producing an

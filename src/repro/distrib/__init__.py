@@ -35,13 +35,16 @@ from ..runner.specs import RunSpec
 from ..workloads.registry import ExperimentScale
 from .coordinator import MergedShards, load_shard_results, merge_shards
 from .manifest import (
+    BALANCE_MODES,
     SHARD_MANIFEST_SCHEMA,
     SHARD_RESULT_SCHEMA,
+    estimate_spec_cost,
     experiment_id_of,
     experiment_tag,
     load_manifest,
     manifest_specs,
     partition_bounds,
+    partition_bounds_by_cost,
     plan_shards,
     validate_manifest,
 )
@@ -53,9 +56,17 @@ from .spool import (
     shard_file_name,
     shard_label,
 )
-from .worker import execute_shard, execute_shard_file, work_spool
+from .worker import (
+    execute_shard,
+    execute_shard_file,
+    progress_on_run,
+    shard_result_payload,
+    shard_runner,
+    work_spool,
+)
 
 __all__ = [
+    "BALANCE_MODES",
     "SHARD_MANIFEST_SCHEMA",
     "SHARD_RESULT_SCHEMA",
     "ClaimedShard",
@@ -63,6 +74,7 @@ __all__ = [
     "ShardSpool",
     "SpoolStatus",
     "default_owner",
+    "estimate_spec_cost",
     "execute_shard",
     "execute_shard_file",
     "experiment_id_of",
@@ -72,10 +84,14 @@ __all__ = [
     "manifest_specs",
     "merge_shards",
     "partition_bounds",
+    "partition_bounds_by_cost",
     "plan_shards",
+    "progress_on_run",
     "run_sharded_specs",
     "shard_file_name",
     "shard_label",
+    "shard_result_payload",
+    "shard_runner",
     "validate_manifest",
     "work_spool",
 ]

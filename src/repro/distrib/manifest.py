@@ -38,12 +38,15 @@ from ..runner.artifacts import (
     scale_to_dict,
 )
 from ..runner.specs import RunSpec
-from ..workloads.registry import ExperimentScale
+from ..workloads.registry import ExperimentScale, get_workload
 
 #: Bump when the shard-manifest layout changes.
 SHARD_MANIFEST_SCHEMA = "repro.shard/1"
 #: Bump when the shard-result artifact layout changes.
 SHARD_RESULT_SCHEMA = "repro.shard-result/1"
+
+#: Valid ``balance`` modes of :func:`plan_shards`.
+BALANCE_MODES = ("count", "cost")
 
 
 def partition_bounds(total: int, shard_count: int) -> List[Tuple[int, int]]:
@@ -65,6 +68,60 @@ def partition_bounds(total: int, shard_count: int) -> List[Tuple[int, int]]:
     return bounds
 
 
+def estimate_spec_cost(spec: RunSpec, scale: ExperimentScale) -> int:
+    """Estimated trace length (accesses) of one run — its dominant cost.
+
+    Mirrors the arithmetic of
+    :func:`~repro.workloads.registry.build_trace` — Table III instructions
+    shrunk by ``scale.instruction_scale``, divided by the compute
+    instructions per access, clamped to the scale's access bounds —
+    without synthesising anything, so planning stays instantaneous.  Replay
+    time is close to linear in trace length, while workloads differ by
+    orders of magnitude in instruction count, which is exactly the skew
+    count-balanced shards cannot see.
+    """
+    workload = get_workload(spec.workload)
+    scaled = scale.scaled_instructions(
+        workload.characteristics.total_instructions)
+    raw = int(scaled / (1.0 + workload.compute_instructions_per_access))
+    return min(scale.max_accesses, max(scale.min_accesses, raw))
+
+
+def partition_bounds_by_cost(costs: Sequence[float], shard_count: int
+                             ) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, end)`` bounds balancing total *cost* per shard.
+
+    The partition stays contiguous — that is what keeps the sharded merge
+    bit-identical to the unsharded run order — so balancing reduces to
+    choosing cut points.  Each shard extends while its cumulative cost's
+    midpoint stays before the shard's ideal cut (``total * (k+1) / n``),
+    i.e. every item lands on whichever side of the cut it is closer to;
+    the last shard takes the remainder.  Deterministic, tolerant of empty
+    shards, and exact for equal costs (it then reduces to
+    :func:`partition_bounds`-style near-even splits).
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    costs = [float(cost) for cost in costs]
+    total = sum(costs)
+    if total <= 0:
+        return partition_bounds(len(costs), shard_count)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    cumulative = 0.0
+    for shard_index in range(shard_count - 1):
+        target = total * (shard_index + 1) / shard_count
+        end = start
+        while end < len(costs) and \
+                cumulative + costs[end] / 2.0 <= target:
+            cumulative += costs[end]
+            end += 1
+        bounds.append((start, end))
+        start = end
+    bounds.append((start, len(costs)))
+    return bounds
+
+
 def experiment_tag(experiment_id: str) -> str:
     """Short filename-safe tag of an experiment id (first 8 hex digits)."""
     return experiment_id.split(":", 1)[-1][:8]
@@ -72,22 +129,32 @@ def experiment_tag(experiment_id: str) -> str:
 
 def experiment_id_of(name: str, specs: Sequence[RunSpec],
                      config: SystemConfig, scale: ExperimentScale,
-                     shard_count: int) -> str:
-    """Digest of the complete plan; identical across all of its shards."""
-    digest = hashlib.sha256(canonical_json({
+                     shard_count: int, balance: str = "count") -> str:
+    """Digest of the complete plan; identical across all of its shards.
+
+    The balance mode enters the digest for non-default modes only, so every
+    pre-existing count-balanced plan keeps its id while a cost-balanced
+    plan of the same matrix can never alias it — shards partitioned
+    differently must not merge together.
+    """
+    payload: Dict[str, Any] = {
         "schema": SHARD_MANIFEST_SCHEMA,
         "experiment": name,
         "specs": [spec.to_dict() for spec in specs],
         "scale": scale_to_dict(scale),
         "config": config_to_dict(config),
         "shard_count": shard_count,
-    }).encode("utf-8"))
+    }
+    if balance != "count":
+        payload["balance"] = balance
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
     return f"sha256:{digest.hexdigest()}"
 
 
 def plan_shards(name: str, specs: Sequence[RunSpec], config: SystemConfig,
                 scale: ExperimentScale, shard_count: int,
-                baseline: Optional[str] = None) -> List[Dict[str, Any]]:
+                baseline: Optional[str] = None,
+                balance: str = "count") -> List[Dict[str, Any]]:
     """Partition *specs* into *shard_count* manifest payloads.
 
     *config* must already be scaled (it is the runner's ``.config``, not the
@@ -95,23 +162,37 @@ def plan_shards(name: str, specs: Sequence[RunSpec], config: SystemConfig,
     ``scaled_config`` so their run-cache keys match the ``key`` fields
     computed here.  *baseline* names the speedup-baseline platform for
     report summaries; it rides along as presentation metadata and does not
-    enter the experiment id.
+    enter the experiment id.  *balance* picks the partition: ``"count"``
+    (the default) splits the spec list into near-equal counts, ``"cost"``
+    weighs each spec by its estimated trace length
+    (:func:`estimate_spec_cost`) so long and short workloads spread evenly
+    across hosts.  Both partitions are contiguous, so the merged result is
+    bit-identical either way.
     """
+    if balance not in BALANCE_MODES:
+        raise ValueError(f"unknown balance mode {balance!r}; "
+                         f"expected one of {BALANCE_MODES}")
     specs = list(specs)
-    experiment_id = experiment_id_of(name, specs, config, scale, shard_count)
+    experiment_id = experiment_id_of(name, specs, config, scale, shard_count,
+                                     balance=balance)
     scale_dict = scale_to_dict(scale)
     config_dict = config_to_dict(config)
     config_hash = config_hash_of(config)
     keys = [run_cache_key(spec, config, scale) for spec in specs]
+    if balance == "cost":
+        bounds = partition_bounds_by_cost(
+            [estimate_spec_cost(spec, scale) for spec in specs], shard_count)
+    else:
+        bounds = partition_bounds(len(specs), shard_count)
     manifests: List[Dict[str, Any]] = []
-    for shard_index, (start, end) in enumerate(
-            partition_bounds(len(specs), shard_count)):
+    for shard_index, (start, end) in enumerate(bounds):
         manifests.append({
             "schema": SHARD_MANIFEST_SCHEMA,
             "experiment": name,
             "experiment_id": experiment_id,
             "shard_index": shard_index,
             "shard_count": shard_count,
+            "balance": balance,
             "baseline": baseline,
             "scale": scale_dict,
             "config": config_dict,

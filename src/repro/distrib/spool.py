@@ -19,7 +19,16 @@ directory rename) for a fleet — with one subdirectory per shard state:
   the claim file is removed;
 * ``cache/`` — the default content-addressed run cache shared by every
   worker of this spool, which is what makes a killed-and-restarted worker
-  resume instead of recompute.
+  resume instead of recompute;
+* ``progress/shard-<plan>-NNNN.jsonl`` — per-run ``repro.events/1``
+  records the shard's worker appends as each run finishes (one writer per
+  shard, so appends never interleave).  ``repro shard status --watch`` and
+  a coordinating :class:`~repro.exec.ExperimentHandle` tail these to watch
+  remote execution run by run; the records carry the run-cache key, so the
+  full result can be loaded from ``cache/`` before the shard artifact even
+  exists.  Progress files are advisory — resumed shards append duplicate
+  indices, and readers dedupe — the shard artifact stays the source of
+  truth.
 
 A shard whose claim file exists but whose result does not is *running* — or
 orphaned by a dead worker.  Recovery is explicit and safe:
@@ -115,12 +124,18 @@ class ShardSpool:
         self.claims_dir = self.root / "claims"
         self.results_dir = self.root / "results"
         self.cache_dir = self.root / "cache"
+        self.progress_dir = self.root / "progress"
 
     def prepare(self) -> "ShardSpool":
         for directory in (self.pending_dir, self.claims_dir,
-                          self.results_dir, self.cache_dir):
+                          self.results_dir, self.cache_dir,
+                          self.progress_dir):
             directory.mkdir(parents=True, exist_ok=True)
         return self
+
+    def progress_path(self, shard_name: str) -> Path:
+        """Per-run progress record file for one shard file name."""
+        return self.progress_dir / (Path(shard_name).stem + ".jsonl")
 
     # -- planning ------------------------------------------------------------------
 

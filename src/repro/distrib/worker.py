@@ -14,20 +14,30 @@ and restarted (on the same host or any host sharing the spool) loads the
 finished runs back as cache hits and only executes the remainder.  The
 shard result is assembled from the full, ordered spec list either way — a
 resumed shard can neither drop nor duplicate runs.
+
+Progress is observable while a shard runs: :func:`work_spool` (and the
+``repro shard work`` CLI on top of it) appends one ``repro.events/1``
+record per finished run to the spool's ``progress/`` directory, which is
+what lets a coordinating :class:`~repro.exec.ExperimentHandle` on another
+host — or ``repro shard status --watch`` — tail remote execution run by
+run instead of waiting for the shard artifact.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..platforms.base import RunResult
 from ..runner.artifacts import (
     config_from_dict,
     config_hash_of,
     run_result_to_dict,
     scale_from_dict,
 )
+from ..runner.events import append_event, run_event
 from ..runner.parallel import ParallelExperimentRunner
+from ..runner.specs import RunSpec
 from .manifest import (
     SHARD_RESULT_SCHEMA,
     load_manifest,
@@ -36,17 +46,25 @@ from .manifest import (
 )
 from .spool import ClaimedShard, ShardSpool, default_owner, shard_file_name
 
+#: Signature of the per-run streaming hook: (manifest spec entry, spec,
+#: result, cache_hit).  The entry carries the run's global ``index`` and
+#: content-addressed ``key``.
+OnRun = Callable[[Dict[str, Any], RunSpec, RunResult, bool], None]
 
-def execute_shard(manifest: Dict[str, Any], *,
-                  cache_dir: Optional[Path] = None,
-                  workers: Optional[int] = None,
-                  force: bool = False,
-                  host: Optional[str] = None) -> Dict[str, Any]:
-    """Run one shard manifest to completion and return its result payload.
 
-    *cache_dir* should be shared by all workers of one plan (the spool's
-    ``cache/`` by default when going through :func:`work_spool`); it is what
-    makes re-execution after a crash resume rather than recompute.
+def shard_runner(manifest: Dict[str, Any], *,
+                 cache_dir: Optional[Path] = None,
+                 workers: Optional[int] = None,
+                 force: bool = False
+                 ) -> Tuple[ParallelExperimentRunner, List[RunSpec]]:
+    """Validate *manifest* and build the runner + specs that execute it.
+
+    This is the planner/worker drift check: the reconstructed config must
+    hash to the manifest's ``config_hash`` and every rebuilt spec must
+    content-address to the planner's ``key``, or the worker refuses the
+    shard before burning any cycles.  Both :func:`execute_shard` and the
+    streaming :class:`~repro.exec.ShardedExecutor` start here, so the two
+    paths can never diverge in what they agree to run.
     """
     validate_manifest(manifest)
     scale = scale_from_dict(manifest["scale"])
@@ -70,16 +88,31 @@ def execute_shard(manifest: Dict[str, Any], *,
                 f"({spec.platform}/{spec.workload}) content-addresses to "
                 f"{key[:12]}..., manifest says {entry['key'][:12]}... — "
                 f"the worker's library diverges from the planner's")
+    return runner, specs
 
-    results = runner.run_specs(specs)
+
+def shard_result_payload(manifest: Dict[str, Any],
+                         runner: ParallelExperimentRunner,
+                         outcomes: Sequence[Tuple[RunResult, bool]],
+                         host: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble the ``repro.shard-result/1`` payload from ordered outcomes.
+
+    *outcomes* pairs each run's result with its cache-hit flag, in manifest
+    spec order.  The per-run ``cache_hit`` field is carried so downstream
+    consumers (the streaming handle filling in a remote shard) keep exact
+    flags without re-deriving them.
+    """
     runs: List[Dict[str, Any]] = []
-    for entry, spec, result in zip(manifest["specs"], specs, results):
+    specs = manifest_specs(manifest)
+    for entry, spec, (result, cache_hit) in zip(manifest["specs"], specs,
+                                                outcomes):
         platform_key, workload_key = spec.result_key
         runs.append({
             "index": entry["index"],
             "key": entry["key"],
             "platform_key": platform_key,
             "workload_key": workload_key,
+            "cache_hit": cache_hit,
             "operations_per_second": result.operations_per_second,
             "result": run_result_to_dict(result),
         })
@@ -100,6 +133,55 @@ def execute_shard(manifest: Dict[str, Any], *,
     }
 
 
+def execute_shard(manifest: Dict[str, Any], *,
+                  cache_dir: Optional[Path] = None,
+                  workers: Optional[int] = None,
+                  force: bool = False,
+                  host: Optional[str] = None,
+                  on_run: Optional[OnRun] = None) -> Dict[str, Any]:
+    """Run one shard manifest to completion and return its result payload.
+
+    *cache_dir* should be shared by all workers of one plan (the spool's
+    ``cache/`` by default when going through :func:`work_spool`); it is what
+    makes re-execution after a crash resume rather than recompute.  *on_run*
+    fires once per finished run, in completion order — the hook behind
+    per-run spool progress records.
+    """
+    runner, specs = shard_runner(manifest, cache_dir=cache_dir,
+                                 workers=workers, force=force)
+    outcomes: List[Optional[Tuple[RunResult, bool]]] = [None] * len(specs)
+    for position, result, cache_hit, _key in runner.iter_specs(specs):
+        outcomes[position] = (result, cache_hit)
+        if on_run is not None:
+            on_run(manifest["specs"][position], specs[position], result,
+                   cache_hit)
+    return shard_result_payload(
+        manifest, runner,
+        outcomes,  # type: ignore[arg-type]  # iter_specs covered every spec
+        host=host)
+
+
+def progress_on_run(spool: ShardSpool, shard_name: str,
+                    owner: Optional[str] = None,
+                    shard_index: Optional[int] = None) -> OnRun:
+    """An *on_run* hook appending per-run records to the spool's progress.
+
+    Each record is one ``repro.events/1`` line carrying the run's global
+    index, its content-addressed key (so a remote tail can load the full
+    result from the shared cache) and the cache-hit flag.  One shard has
+    one writer, so the append never interleaves.
+    """
+    path = spool.progress_path(shard_name)
+
+    def on_run(entry: Dict[str, Any], spec: RunSpec, result: RunResult,
+               cache_hit: bool) -> None:
+        append_event(path, run_event(
+            entry["index"], spec, result, cache_hit, key=entry["key"],
+            shard_index=shard_index, owner=owner))
+
+    return on_run
+
+
 def execute_shard_file(path: Path, spool: ShardSpool, *,
                        workers: Optional[int] = None,
                        force: bool = False,
@@ -113,12 +195,16 @@ def execute_shard_file(path: Path, spool: ShardSpool, *,
     """
     path = Path(path)
     manifest = load_manifest(path)
-    result = execute_shard(manifest, cache_dir=spool.prepare().cache_dir,
-                           workers=workers, force=force, host=host)
-    claim = ClaimedShard(
-        path=spool.claims_dir / shard_file_name(manifest["experiment_id"],
-                                                manifest["shard_index"]),
-        payload=manifest)
+    spool.prepare()
+    shard_name = shard_file_name(manifest["experiment_id"],
+                                 manifest["shard_index"])
+    result = execute_shard(manifest, cache_dir=spool.cache_dir,
+                           workers=workers, force=force, host=host,
+                           on_run=progress_on_run(
+                               spool, shard_name, host or default_owner(),
+                               shard_index=manifest["shard_index"]))
+    claim = ClaimedShard(path=spool.claims_dir / shard_name,
+                         payload=manifest)
     published = spool.finish(claim, result)
     # Resolve before comparing: the manifest may have been named relative
     # to the cwd while the spool was given absolute (or vice versa).
@@ -143,7 +229,9 @@ def work_spool(spool: ShardSpool, *,
     propagates, so other workers (or a retry) can pick it up.  *cache_dir*
     overrides the spool's shared ``cache/`` — a session that already owns a
     content-addressed cache keeps hitting (and feeding) it when sharded.
-    *experiment_id* restricts this worker to one plan's shards.
+    *experiment_id* restricts this worker to one plan's shards.  Every
+    finished run is additionally appended to the spool's ``progress/``
+    records, so remote observers see the shard advance run by run.
     """
     owner = owner or default_owner()
     published: List[Path] = []
@@ -152,9 +240,13 @@ def work_spool(spool: ShardSpool, *,
         if claim is None:
             break
         try:
-            result = execute_shard(claim.payload,
-                                   cache_dir=cache_dir or spool.cache_dir,
-                                   workers=workers, force=force, host=owner)
+            result = execute_shard(
+                claim.payload,
+                cache_dir=cache_dir or spool.cache_dir,
+                workers=workers, force=force, host=owner,
+                on_run=progress_on_run(
+                    spool, claim.path.name, owner,
+                    shard_index=claim.shard_index))
         except BaseException:
             spool.release(claim)
             raise

@@ -1,0 +1,84 @@
+"""repro.exec: the unified execution layer behind ``Session.submit()``.
+
+One protocol, three tiers, one streaming handle:
+
+* :class:`Executor` — ``submit(specs, ctx) -> ExperimentHandle``;
+* :class:`SerialExecutor` / :class:`PoolExecutor` /
+  :class:`ShardedExecutor` — in-process, process-pool and multi-host
+  execution, all folding to bit-identical results;
+* :class:`ExperimentHandle` — ``iter_results()`` streams each finished
+  run (cache hits and remote runs flagged), ``progress()`` snapshots
+  completed/total/ETA, ``events()`` exposes the typed
+  start/finish/cache-hit/shard-claimed records (also dumped as a
+  ``repro.events/1`` JSONL artifact), ``cancel()`` stops cleanly between
+  runs, and ``result()`` folds index-ordered into the same
+  :class:`~repro.analysis.experiments.ExperimentResult` the blocking
+  verbs return.
+
+``Session.collect/compare/sweep`` (and the CLI's ``repro run``) are thin
+consumers of this layer; library users who want live observation call
+``Session.submit()`` directly::
+
+    handle = session.submit(specs, name="fig16")
+    for run in handle.iter_results():
+        print(handle.progress().format())
+    experiment = handle.result()
+"""
+
+from __future__ import annotations
+
+from ..runner.events import (
+    CACHE_HIT,
+    EVENT_KINDS,
+    EVENTS_SCHEMA,
+    RUN_FINISH,
+    RUN_START,
+    SHARD_CLAIMED,
+    SUBMITTED,
+    Event,
+    append_event,
+    event_from_record,
+    read_events,
+)
+from .executors import (
+    EXECUTOR_NAMES,
+    ExecutionContext,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    resolve_executor,
+)
+from .handle import (
+    CancelToken,
+    ExperimentCancelled,
+    ExperimentHandle,
+    ProgressSnapshot,
+    StreamedRun,
+)
+
+__all__ = [
+    "CACHE_HIT",
+    "EVENT_KINDS",
+    "EVENTS_SCHEMA",
+    "EXECUTOR_NAMES",
+    "RUN_FINISH",
+    "RUN_START",
+    "SHARD_CLAIMED",
+    "SUBMITTED",
+    "CancelToken",
+    "Event",
+    "ExecutionContext",
+    "Executor",
+    "ExperimentCancelled",
+    "ExperimentHandle",
+    "PoolExecutor",
+    "ProgressSnapshot",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "StreamedRun",
+    "append_event",
+    "event_from_record",
+    "read_events",
+    "resolve_executor",
+]

@@ -5,10 +5,15 @@ Subcommands
 
 ``run [EXPERIMENT ...]``
     Execute named experiment presets (default: the CI ``smoke`` preset when
-    ``--smoke`` is given, otherwise every figure preset) over the worker
-    pool, write one versioned JSON artifact per experiment and print the
-    throughput summary.  ``--platforms``/``--workloads`` replace the presets
-    with one ad-hoc experiment called ``custom``.
+    ``--smoke`` is given, otherwise every figure preset), write one
+    versioned JSON artifact per experiment plus a ``repro.events/1`` JSONL
+    event log, and print the throughput summary.  ``--executor
+    {serial,pool,sharded}`` picks the execution tier (default: the process
+    pool; results are bit-identical on every tier), ``--progress`` renders
+    a live completed/total/ETA ticker from the streaming
+    :class:`~repro.exec.ExperimentHandle`, and
+    ``--platforms``/``--workloads`` replace the presets with one ad-hoc
+    experiment called ``custom``.
 
 ``list``
     Show the available platforms, workloads and experiment presets.
@@ -27,12 +32,16 @@ Subcommands
 ``shard plan|work|merge|status``
     The distributed execution tier (see :mod:`repro.distrib`): ``plan``
     partitions one experiment into N ``repro.shard/1`` manifests under a
-    spool directory, ``work`` claims and executes pending shards (any
-    number of hosts sharing the spool may run it concurrently; crashed
-    shards resume from the shared run cache), ``merge`` provenance-checks
-    the shard artifacts and writes the final ``repro.experiment/1``
-    artifact — bit-identical in its runs to an unsharded execution — and
-    ``status`` shows where every shard stands.
+    spool directory (``--balance cost`` weighs specs by estimated trace
+    length instead of count), ``work`` claims and executes pending shards
+    (any number of hosts sharing the spool may run it concurrently;
+    crashed shards resume from the shared run cache, and every finished
+    run is appended to the spool's per-run progress records), ``merge``
+    provenance-checks the shard artifacts and writes the final
+    ``repro.experiment/1`` artifact — bit-identical in its runs to an
+    unsharded execution — and ``status`` shows where every shard stands
+    (``--watch`` keeps polling, tailing the per-run progress records,
+    until the spool completes).
 """
 
 from __future__ import annotations
@@ -50,9 +59,11 @@ from ..analysis.reporting import format_table
 from ..api import Session
 from ..config import default_config
 from ..distrib import (
+    BALANCE_MODES,
     SHARD_MANIFEST_SCHEMA,
     SHARD_RESULT_SCHEMA,
     ShardSpool,
+    estimate_spec_cost,
     execute_shard_file,
     experiment_tag,
     load_shard_results,
@@ -60,6 +71,8 @@ from ..distrib import (
     plan_shards,
     work_spool,
 )
+from ..exec import EXECUTOR_NAMES
+from .events import read_events
 from ..platforms.registry import PLATFORM_NAMES, available_platforms
 from ..workloads.registry import (
     ExperimentScale,
@@ -129,6 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the run cache entirely")
     run.add_argument("--force", action="store_true",
                      help="ignore cache hits but refresh stored runs")
+    run.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
+                     help="execution tier (default: pool, or sharded when "
+                          "--shards is given); results are bit-identical "
+                          "on every tier")
+    run.add_argument("--shards", type=int, default=None,
+                     help="shard count for the sharded executor "
+                          "(implies --executor sharded; default: 2 when "
+                          "--executor sharded is given alone)")
+    run.add_argument("--spool", type=Path, default=None,
+                     help="spool directory for the sharded executor: keeps "
+                          "shard artifacts and lets `repro shard work` "
+                          "helpers on other hosts join in")
+    run.add_argument("--progress", action="store_true",
+                     help="render a live completed/total/ETA ticker on "
+                          "stderr while the experiment streams")
     _add_matrix_arguments(run)
     _add_scale_arguments(run)
     run.add_argument("--quiet", action="store_true",
@@ -175,6 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--spool", type=Path, required=True,
                       help="spool directory (local FS or NFS) the workers "
                            "share")
+    plan.add_argument("--balance", choices=BALANCE_MODES, default="count",
+                      help="partition by spec count (default) or by "
+                           "estimated per-run cost (trace length), so "
+                           "long and short workloads spread evenly")
     _add_matrix_arguments(plan)
     _add_scale_arguments(plan)
     plan.set_defaults(handler=cmd_shard_plan)
@@ -222,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="show pending/running/done state of every shard")
     status.add_argument("--spool", type=Path, required=True,
                         help="spool directory to inspect")
+    status.add_argument("--watch", action="store_true",
+                        help="keep polling (tailing the per-run progress "
+                             "records) until every shard is done")
+    status.add_argument("--interval", type=float, default=2.0,
+                        help="poll interval in seconds for --watch "
+                             "(default: 2)")
     status.set_defaults(handler=cmd_shard_status)
 
     return parser
@@ -308,27 +346,44 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         cache_dir = args.output_dir / "cache"
 
+    executor = args.executor
+    if executor is None and args.shards:
+        executor = "sharded"  # --shards alone implies the sharded tier
     try:
         session = Session(scale=scale, workers=args.workers,
-                          cache_dir=cache_dir, force=args.force)
+                          cache_dir=cache_dir, force=args.force,
+                          executor=executor, shards=args.shards,
+                          spool_dir=args.spool)
     except ValueError as error:  # e.g. a malformed $REPRO_WORKERS
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    cache = session.runner.cache
     for preset in presets:
         started = time.perf_counter()
-        hits_before, misses_before = cache.hits, cache.misses
+        events_path = args.output_dir / f"{preset.name}.events.jsonl"
+        specs = matrix_specs(list(preset.platforms), list(preset.workloads))
         try:
-            experiment = session.compare(preset.platforms, preset.workloads)
+            # `run` is a thin consumer of the streaming submit() API: the
+            # handle yields runs as they complete (which is what the
+            # --progress ticker renders) and result() folds them into the
+            # same ExperimentResult the blocking verbs return.
+            handle = session.submit(specs, name=preset.name,
+                                    events_path=events_path)
+            for _ in handle.iter_results():
+                if args.progress:
+                    print(f"\r{preset.name}: {handle.progress().format()}",
+                          end="", file=sys.stderr, flush=True)
+            if args.progress:
+                print(file=sys.stderr)
+            experiment = handle.result()
         except ValueError as error:
             # Unknown platform/workload names surface here (ad-hoc
             # --platforms/--workloads matrices are not validated up front).
             print(f"error: {error}", file=sys.stderr)
             return 2
         elapsed = time.perf_counter() - started
-        hits = cache.hits - hits_before
-        misses = cache.misses - misses_before
+        snapshot = handle.progress()
+        hits = snapshot.cache_hits
         path = write_experiment_artifact(
             args.output_dir, preset.name, experiment, session.config,
             meta={
@@ -336,16 +391,19 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "description": preset.description,
                 "baseline": preset.baseline,
                 "workers": session.workers,
+                "executor": handle.executor,
                 "elapsed_s": elapsed,
                 "cache_hits": hits,
-                "cache_misses": misses,
+                "cache_misses": snapshot.total - hits,
+                "events": events_path.name,
             })
         if not args.quiet:
             print()
             print(_summarise(experiment, preset.name, preset.baseline))
             print()
         print(f"{preset.name}: {preset.run_count} runs in {elapsed:.2f}s "
-              f"({session.workers} workers, {hits} cached) -> {path}")
+              f"({handle.executor} executor, {session.workers} workers, "
+              f"{hits} cached) -> {path}")
     return 0
 
 
@@ -518,7 +576,8 @@ def cmd_shard_plan(args: argparse.Namespace) -> int:
     specs = matrix_specs(list(preset.platforms), list(preset.workloads))
     try:
         manifests = plan_shards(preset.name, specs, config, scale,
-                                args.shards, baseline=preset.baseline)
+                                args.shards, baseline=preset.baseline,
+                                balance=args.balance)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -526,8 +585,14 @@ def cmd_shard_plan(args: argparse.Namespace) -> int:
     paths = spool.add_manifests(manifests)
     sizes = [len(manifest["specs"]) for manifest in manifests]
     print(f"{preset.name}: planned {len(specs)} runs into "
-          f"{len(manifests)} shard(s) (sizes {sizes}) under "
-          f"{spool.pending_dir}")
+          f"{len(manifests)} shard(s) (sizes {sizes}, balanced by "
+          f"{args.balance}) under {spool.pending_dir}")
+    if args.balance == "cost":
+        costs = [sum(estimate_spec_cost(
+                     specs[entry["index"]], scale)
+                     for entry in manifest["specs"])
+                 for manifest in manifests]
+        print(f"estimated per-shard cost (accesses): {costs}")
     skipped = len(manifests) - len(paths)
     if skipped:
         print(f"{skipped} shard(s) already claimed or done in this spool; "
@@ -614,13 +679,45 @@ def cmd_shard_merge(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_shard_status(args: argparse.Namespace) -> int:
-    spool = ShardSpool(args.spool)
-    status = spool.status()
-    if status.total == 0:
-        print(f"error: no shards found under {spool.root} "
-              f"(did `repro shard plan` run?)", file=sys.stderr)
-        return 1
+def _spool_run_progress(spool: ShardSpool) -> tuple:
+    """(runs done, runs total) across every shard of a spool.
+
+    A shard's total comes from its manifest (pending/claimed) or artifact
+    (done); its completed count from the artifact when finished, else from
+    the unique run indices of its per-run progress records — resumed
+    shards append duplicate indices, so the count dedupes.  Totals are
+    best-effort: a torn file counts as zero rather than crashing the one
+    command an operator watches a spool with.
+    """
+    done = 0
+    total = 0
+    seen_result = set()
+    for path in spool.result_paths():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            runs = len(payload.get("runs", []))
+        except (OSError, json.JSONDecodeError):
+            continue
+        seen_result.add(path.name)
+        done += runs
+        total += runs
+    for directory in (spool.claims_dir, spool.pending_dir):
+        for path in sorted(directory.glob("shard-*.json")):
+            if path.name in seen_result:
+                continue  # finished shard with raced claim cleanup
+            seen_result.add(path.name)
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                total += len(payload.get("specs", []))
+            except (OSError, json.JSONDecodeError):
+                continue
+            events, _ = read_events(spool.progress_path(path.name))
+            done += len({event.index for event in events
+                         if event.index is not None})
+    return done, total
+
+
+def _print_spool_status(spool: ShardSpool, status) -> None:
     print(f"spool {spool.root}: {len(status.done)} done, "
           f"{len(status.running)} running, {len(status.pending)} pending")
     for label in sorted(status.pending):
@@ -629,7 +726,43 @@ def cmd_shard_status(args: argparse.Namespace) -> int:
         print(f"  {label}  running  ({owner})")
     for label in sorted(status.done):
         print(f"  {label}  done")
-    return 0 if status.complete else 3
+
+
+def cmd_shard_status(args: argparse.Namespace) -> int:
+    spool = ShardSpool(args.spool)
+    if not args.watch:
+        status = spool.status()
+        if status.total == 0:
+            print(f"error: no shards found under {spool.root} "
+                  f"(did `repro shard plan` run?)", file=sys.stderr)
+            return 1
+        _print_spool_status(spool, status)
+        return 0 if status.complete else 3
+
+    # --watch: poll until the spool completes, tailing the per-run
+    # progress records so the operator sees shards advance run by run,
+    # not just flip state at the end.  An empty spool is legal here (the
+    # plan may not have landed yet) but is called out once — watching a
+    # mistyped --spool path forever with no diagnostic would be cruel.
+    warned_empty = False
+    while True:
+        status = spool.status()
+        if status.total == 0:
+            if not warned_empty:
+                warned_empty = True
+                print(f"no shards found under {spool.root} yet — waiting "
+                      f"(did `repro shard plan` run, and is --spool "
+                      f"right?)", file=sys.stderr)
+        else:
+            done_runs, total_runs = _spool_run_progress(spool)
+            print(f"spool {spool.root}: {len(status.done)} done, "
+                  f"{len(status.running)} running, "
+                  f"{len(status.pending)} pending | "
+                  f"runs {done_runs}/{total_runs}", flush=True)
+            if status.complete:
+                _print_spool_status(spool, status)
+                return 0
+        time.sleep(args.interval)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

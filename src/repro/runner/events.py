@@ -1,0 +1,186 @@
+"""Typed execution events and the versioned ``repro.events/1`` JSONL format.
+
+Every executor (see :mod:`repro.exec`) narrates an experiment as a stream of
+:class:`Event` records: a run was dispatched, finished, resolved from the
+content-addressed cache, a shard was claimed.  The same records serve three
+consumers:
+
+* :class:`~repro.exec.handle.ExperimentHandle` collects them in memory and
+  exposes ``events()`` / ``progress()`` / ``iter_results()``;
+* when an events path is given, each record is appended as one JSON line —
+  the ``repro.events/1`` artifact CI uploads next to the experiment JSON;
+* distributed shard workers append their per-run ``finish`` records to the
+  spool's ``progress/`` directory, which is how a coordinating handle (or
+  ``repro shard status --watch``) observes runs completing on other hosts.
+
+The line format is deliberately self-contained: every line carries the
+schema tag, so a tail reader never needs a header, and a file of lines can
+be split or concatenated freely.  Run-level records carry the run's
+content-addressed cache ``key``, which lets a remote tail reader load the
+full :class:`~repro.platforms.base.RunResult` from the shared cache instead
+of waiting for the shard artifact.
+
+This module sits at the bottom of the layering on purpose: it imports
+nothing from :mod:`repro.distrib` or :mod:`repro.exec`, so both can use it
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..platforms.base import RunResult
+from .specs import RunSpec
+
+#: Bump when the JSONL event-record layout changes.
+EVENTS_SCHEMA = "repro.events/1"
+
+#: Event kinds (the ``kind`` field of every record).
+SUBMITTED = "submitted"          #: experiment handed to an executor
+RUN_START = "start"              #: a run was dispatched for execution
+RUN_FINISH = "finish"            #: a run finished executing
+CACHE_HIT = "cache-hit"          #: a run resolved from the run cache
+SHARD_CLAIMED = "shard-claimed"  #: a shard manifest was claimed by a worker
+
+EVENT_KINDS = (SUBMITTED, RUN_START, RUN_FINISH, CACHE_HIT, SHARD_CLAIMED)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One typed execution event.
+
+    Only ``kind`` and ``unix`` are always present; the remaining fields are
+    populated per kind (run events carry ``index``/keys/throughput, shard
+    events carry ``shard_index``/``owner``).  ``result`` is the in-process
+    payload riding along to the handle — it never enters the JSON record
+    (run results live in the run cache and the experiment artifact, keyed
+    by ``key``).
+    """
+
+    kind: str
+    unix: float = field(default_factory=time.time)
+    index: Optional[int] = None
+    platform_key: Optional[str] = None
+    workload_key: Optional[str] = None
+    cache_hit: Optional[bool] = None
+    operations_per_second: Optional[float] = None
+    key: Optional[str] = None
+    shard_index: Optional[int] = None
+    owner: Optional[str] = None
+    remote: bool = False
+    experiment: Optional[str] = None
+    total: Optional[int] = None
+    executor: Optional[str] = None
+    result: Optional[RunResult] = dataclasses.field(
+        default=None, compare=False)
+
+    def to_record(self) -> Dict[str, Any]:
+        """The JSON-line payload: schema + kind + every populated field."""
+        record: Dict[str, Any] = {"schema": EVENTS_SCHEMA, "kind": self.kind,
+                                  "unix": self.unix}
+        for name in ("index", "platform_key", "workload_key", "cache_hit",
+                     "operations_per_second", "key", "shard_index", "owner",
+                     "experiment", "total", "executor"):
+            value = getattr(self, name)
+            if value is not None:
+                record[name] = value
+        if self.remote:
+            record["remote"] = True
+        return record
+
+    def to_line(self) -> str:
+        return json.dumps(self.to_record(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def event_from_record(payload: Dict[str, Any]) -> Event:
+    """Rebuild an :class:`Event` from one parsed JSON-line record.
+
+    Raises ``ValueError`` on a foreign schema so tail readers can skip
+    lines that are not event records.
+    """
+    if payload.get("schema") != EVENTS_SCHEMA:
+        raise ValueError(
+            f"unsupported event schema {payload.get('schema')!r} "
+            f"(expected {EVENTS_SCHEMA})")
+    known = {f.name for f in dataclasses.fields(Event)} - {"result"}
+    return Event(**{name: value for name, value in payload.items()
+                    if name in known})
+
+
+def run_event(index: int, spec: RunSpec, result: RunResult,
+              cache_hit: bool, *,
+              key: Optional[str] = None,
+              shard_index: Optional[int] = None,
+              owner: Optional[str] = None,
+              remote: bool = False) -> Event:
+    """The ``finish`` (or ``cache-hit``) record of one completed run."""
+    platform_key, workload_key = spec.result_key
+    return Event(kind=CACHE_HIT if cache_hit else RUN_FINISH,
+                 index=index, platform_key=platform_key,
+                 workload_key=workload_key, cache_hit=cache_hit,
+                 operations_per_second=result.operations_per_second,
+                 key=key, shard_index=shard_index, owner=owner,
+                 remote=remote, result=result)
+
+
+def start_event(index: int, spec: RunSpec, *,
+                shard_index: Optional[int] = None) -> Event:
+    """The ``start`` record of one dispatched run."""
+    platform_key, workload_key = spec.result_key
+    return Event(kind=RUN_START, index=index, platform_key=platform_key,
+                 workload_key=workload_key, shard_index=shard_index)
+
+
+def claim_event(shard_index: int, owner: str) -> Event:
+    """The ``shard-claimed`` record of the sharded tier."""
+    return Event(kind=SHARD_CLAIMED, shard_index=shard_index, owner=owner)
+
+
+def append_event(path: Path, event: Event, *, mode: str = "a") -> Path:
+    """Append one event line to *path* (``mode="w"`` truncates first).
+
+    Appends are plain ``O_APPEND`` writes of one short line: every progress
+    file has exactly one writer (the worker owning that shard), so lines
+    never interleave, and a reader polling the file sees only whole lines
+    plus at most one incomplete tail — which :func:`read_events` leaves for
+    the next poll.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open(mode, encoding="utf-8") as handle:
+        handle.write(event.to_line() + "\n")
+    return path
+
+
+def read_events(path: Path, offset: int = 0) -> Tuple[List[Event], int]:
+    """Read the complete event lines of *path* starting at byte *offset*.
+
+    Returns the parsed events and the new offset.  This is the tail
+    primitive: callers keep the returned offset and poll again later; an
+    incomplete final line (a worker mid-append) is not consumed, and
+    malformed complete lines are skipped rather than wedging the tailer.
+    A missing file reads as empty — the worker has not started yet.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except FileNotFoundError:
+        return [], offset
+    events: List[Event] = []
+    consumed = 0
+    for raw in data.split(b"\n")[:-1]:  # the piece after the last \n waits
+        consumed += len(raw) + 1
+        try:
+            events.append(event_from_record(
+                json.loads(raw.decode("utf-8"))))
+        except (ValueError, UnicodeDecodeError):
+            continue
+    return events, offset + consumed

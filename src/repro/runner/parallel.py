@@ -22,7 +22,16 @@ import multiprocessing
 import os
 import sys
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..analysis.experiments import ExperimentResult, ExperimentRunner
 from ..config import SystemConfig
@@ -150,11 +159,37 @@ class ParallelExperimentRunner(ExperimentRunner):
 
     # -- execution -----------------------------------------------------------------
 
-    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Execute every spec (cache, then pool) preserving input order."""
-        specs = list(specs)
-        results: List[Optional[RunResult]] = [None] * len(specs)
+    def iter_specs(self, specs: Sequence[RunSpec], *,
+                   should_stop: Optional[Callable[[], bool]] = None,
+                   on_start: Optional[Callable[[int], None]] = None,
+                   workers: Optional[int] = None
+                   ) -> Iterator[Tuple[int, RunResult, bool,
+                                       Optional[str]]]:
+        """Stream ``(position, result, cache_hit, key)`` as runs complete.
 
+        Cache hits are yielded first, in position order (they cost one file
+        read each); the remaining runs follow in *completion* order —
+        serially inline for one worker, via ``imap_unordered`` over the pool
+        otherwise — and each result streams into the cache the moment it
+        lands, not in one batch at the end, so a runner killed mid-way
+        leaves every finished run behind and a restart resumes instead of
+        recomputing (the resume contract of distributed shard workers).
+        ``key`` is the run's content address (``None`` with caching off),
+        computed exactly once here so consumers never re-hash the config.
+
+        *should_stop* is polled between runs; returning ``True`` ends the
+        stream cleanly after the current run (the pool, if any, is torn
+        down by the ``with`` block), leaving the cache consistent — this is
+        the cancellation hook of :meth:`repro.exec.ExperimentHandle.cancel`.
+        *on_start* fires with a position when that run is dispatched: per
+        run under serial execution, once per pending run at pool submission
+        time otherwise (a pool dispatches its whole batch up front).
+        *workers* overrides the runner's pool size for this stream —
+        ``workers=1`` is how the serial executor forces inline execution
+        without duplicating any of the cache semantics above.
+        """
+        specs = list(specs)
+        effective_workers = self.workers if workers is None else workers
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(specs)
         for index, spec in enumerate(specs):
@@ -163,45 +198,60 @@ class ParallelExperimentRunner(ExperimentRunner):
             cached = (None if self.force or not self.cache.enabled
                       else self.cache.load(keys[index]))
             if cached is not None:
-                results[index] = cached
+                yield index, cached, True, keys[index]
             else:
                 pending.append(index)
+        if not pending:
+            return
 
-        if pending:
-            # Results stream into the cache as they complete (not in one
-            # batch at the end), so a runner killed mid-way leaves every
-            # finished run behind and a restart resumes instead of
-            # recomputing — the resume contract of distributed shard workers.
-            def record(index: int, result: RunResult) -> None:
-                results[index] = result
-                if self.cache.enabled:
-                    self.cache.store(keys[index], specs[index], result)
+        def store(index: int, result: RunResult) -> None:
+            if self.cache.enabled:
+                self.cache.store(keys[index], specs[index], result)
 
-            if self.workers <= 1 or len(pending) == 1:
-                for index in pending:
-                    record(index, execute_spec(
-                        specs[index], self.config, self.scale,
-                        self._trace_cache))
-            else:
-                context = _pool_context()
-                processes = min(self.workers, len(pending))
-                # Chunks keep per-task IPC overhead low and, with the
-                # workload-major spec order, let a worker reuse its cached
-                # trace across a chunk; 4 chunks per worker still load-
-                # balances the uneven per-platform run times.
-                chunksize = max(1, len(pending) // (processes * 4))
-                with context.Pool(processes=processes,
-                                  initializer=_worker_init,
-                                  initargs=(self.config, self.scale)) as pool:
-                    # Unordered: each result is cached the moment its chunk
-                    # finishes, not held behind slower earlier chunks; the
-                    # explicit index keeps the output order deterministic.
-                    for index, result in pool.imap_unordered(
-                            _worker_run_indexed,
-                            [(index, specs[index]) for index in pending],
-                            chunksize=chunksize):
-                        record(index, result)
+        if effective_workers <= 1 or len(pending) == 1:
+            for index in pending:
+                if should_stop is not None and should_stop():
+                    return
+                if on_start is not None:
+                    on_start(index)
+                result = execute_spec(specs[index], self.config, self.scale,
+                                      self._trace_cache)
+                store(index, result)
+                yield index, result, False, keys[index]
+        else:
+            if should_stop is not None and should_stop():
+                return
+            context = _pool_context()
+            processes = min(effective_workers, len(pending))
+            # Chunks keep per-task IPC overhead low and, with the
+            # workload-major spec order, let a worker reuse its cached
+            # trace across a chunk; 4 chunks per worker still load-
+            # balances the uneven per-platform run times.
+            chunksize = max(1, len(pending) // (processes * 4))
+            with context.Pool(processes=processes,
+                              initializer=_worker_init,
+                              initargs=(self.config, self.scale)) as pool:
+                if on_start is not None:
+                    for index in pending:
+                        on_start(index)
+                # Unordered: each result is cached the moment its chunk
+                # finishes, not held behind slower earlier chunks; the
+                # explicit index keeps the output order deterministic.
+                for index, result in pool.imap_unordered(
+                        _worker_run_indexed,
+                        [(index, specs[index]) for index in pending],
+                        chunksize=chunksize):
+                    store(index, result)
+                    yield index, result, False, keys[index]
+                    if should_stop is not None and should_stop():
+                        return
 
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every spec (cache, then pool) preserving input order."""
+        specs = list(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        for index, result, _cache_hit, _key in self.iter_specs(specs):
+            results[index] = result
         return results  # type: ignore[return-value]
 
     def run_spec(self, spec: RunSpec) -> RunResult:

@@ -24,11 +24,13 @@ from repro.distrib import (
     SHARD_MANIFEST_SCHEMA,
     SHARD_RESULT_SCHEMA,
     ShardSpool,
+    estimate_spec_cost,
     execute_shard,
     execute_shard_file,
     experiment_id_of,
     merge_shards,
     partition_bounds,
+    partition_bounds_by_cost,
     plan_shards,
     run_sharded_specs,
     validate_manifest,
@@ -81,6 +83,90 @@ class TestPartition:
     def test_invalid_shard_count(self):
         with pytest.raises(ValueError, match="shard_count"):
             partition_bounds(4, 0)
+
+
+class TestCostPartition:
+    """Satellite: `shard plan --balance cost` weighs specs, not counts."""
+
+    def test_contiguous_and_complete(self):
+        for costs in ([5, 5, 5, 5], [100, 1, 1, 1, 1, 1], [1, 1, 100],
+                      [3, 7, 2, 9, 4, 4, 8], []):
+            for count in range(1, 6):
+                bounds = partition_bounds_by_cost(costs, count)
+                assert len(bounds) == count
+                assert bounds[0][0] == 0 and bounds[-1][1] == len(costs)
+                for (_, end), (start, _) in zip(bounds, bounds[1:]):
+                    assert end == start
+
+    def test_equal_costs_reduce_to_near_even_counts(self):
+        sizes = [end - start
+                 for start, end in partition_bounds_by_cost([7] * 10, 3)]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_skewed_costs_balance_better_than_counts(self):
+        # One expensive spec followed by many cheap ones: a count split
+        # puts the expensive one *plus* half the cheap ones on shard 0.
+        costs = [100] + [10] * 10
+        by_cost = partition_bounds_by_cost(costs, 2)
+        by_count = partition_bounds(len(costs), 2)
+
+        def imbalance(bounds):
+            totals = [sum(costs[start:end]) for start, end in bounds]
+            return max(totals) - min(totals)
+
+        assert imbalance(by_cost) < imbalance(by_count)
+
+    def test_zero_total_cost_falls_back_to_counts(self):
+        assert partition_bounds_by_cost([0, 0, 0, 0], 2) == \
+            partition_bounds(4, 2)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="shard_count"):
+            partition_bounds_by_cost([1, 2], 0)
+
+    def test_estimate_tracks_scale_and_workload(self):
+        spec = RunSpec("mmap", "seqRd")
+        cost = estimate_spec_cost(spec, TINY)
+        assert TINY.min_accesses <= cost <= TINY.max_accesses
+        wider = ExperimentScale(capacity_scale=1 / 512, min_accesses=1,
+                                max_accesses=10 ** 9)
+        # Unclamped, the update workload (more instructions in Table III
+        # than the microbenchmarks) must cost more than seqRd.
+        assert estimate_spec_cost(RunSpec("oracle", "update"), wider) > \
+            estimate_spec_cost(RunSpec("oracle", "seqRd"), wider)
+
+    def test_plan_rejects_unknown_balance(self):
+        runner = tiny_runner()
+        with pytest.raises(ValueError, match="balance"):
+            plan_shards("exp", matrix_specs(["mmap"], ["seqRd"]),
+                        runner.config, TINY, 1, balance="fastest")
+
+    def test_balance_modes_get_distinct_experiment_ids(self):
+        runner = tiny_runner()
+        specs = matrix_specs(PLATFORMS, WORKLOADS)
+        by_count = plan_shards("exp", specs, runner.config, TINY, 2)
+        by_cost = plan_shards("exp", specs, runner.config, TINY, 2,
+                              balance="cost")
+        # Different partitions must never alias into one mergeable plan.
+        assert by_count[0]["experiment_id"] != by_cost[0]["experiment_id"]
+        assert by_cost[0]["balance"] == "cost"
+
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_cost_balanced_merge_is_golden(self, shards):
+        """Merge exactness holds for the cost partition, like for count."""
+        runner = tiny_runner()
+        specs = matrix_specs(PLATFORMS, WORKLOADS)
+        expected = canonical_runs(runner.collect(specs), runner.config)
+        manifests = plan_shards("golden-cost", specs, runner.config, TINY,
+                                shards, balance="cost")
+        indices = [entry["index"] for manifest in manifests
+                   for entry in manifest["specs"]]
+        assert indices == list(range(len(specs)))
+        results = [execute_shard(manifest, workers=1)
+                   for manifest in manifests]
+        merged = merge_shards(results)
+        assert canonical_runs(merged.result, runner.config) == expected
 
 
 class TestManifests:

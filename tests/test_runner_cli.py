@@ -106,6 +106,57 @@ class TestRunCommand:
                 for run in payload["runs"]}
         assert keys == {("mmap", "seqRd"), ("hams-TE", "seqRd")}
 
+    def test_executor_tiers_write_identical_runs(self, tmp_path, capsys):
+        """`repro run --executor X` is bit-identical across tiers."""
+        serialised = {}
+        for executor in ("serial", "pool", "sharded"):
+            status = main(["run", "--workers", "1", "--no-cache", "--quiet",
+                           "--executor", executor,
+                           "--platforms", "mmap", "oracle",
+                           "--workloads", "seqRd",
+                           "--output-dir", str(tmp_path / executor)]
+                          + TINY_FLAGS)
+            assert status == 0
+            assert f"({executor} executor" in capsys.readouterr().out
+            payload = json.loads((tmp_path / executor / "custom.json")
+                                 .read_text(encoding="utf-8"))
+            assert payload["meta"]["executor"] == executor
+            serialised[executor] = json.dumps(payload["runs"],
+                                              sort_keys=True)
+        assert serialised["pool"] == serialised["serial"]
+        assert serialised["sharded"] == serialised["serial"]
+
+    def test_run_writes_events_artifact(self, tmp_path):
+        main(["run", "--workers", "1", "--no-cache", "--quiet",
+              "--platforms", "mmap", "--workloads", "seqRd",
+              "--output-dir", str(tmp_path)] + TINY_FLAGS)
+        lines = [json.loads(line) for line in
+                 (tmp_path / "custom.events.jsonl")
+                 .read_text(encoding="utf-8").splitlines()]
+        assert lines[0]["schema"] == "repro.events/1"
+        assert lines[0]["kind"] == "submitted"
+        assert [line["kind"] for line in lines].count("finish") == 1
+
+    def test_run_progress_ticker(self, tmp_path, capsys):
+        status = main(["run", "--workers", "1", "--no-cache", "--quiet",
+                       "--progress",
+                       "--platforms", "mmap", "--workloads", "seqRd",
+                       "--output-dir", str(tmp_path)] + TINY_FLAGS)
+        assert status == 0
+        err = capsys.readouterr().err
+        assert "1/1 runs" in err and "elapsed" in err
+
+    def test_run_shards_implies_sharded_executor(self, tmp_path, capsys):
+        status = main(["run", "--workers", "1", "--quiet",
+                       "--shards", "2", "--spool", str(tmp_path / "spool"),
+                       "--platforms", "mmap", "oracle",
+                       "--workloads", "seqRd",
+                       "--output-dir", str(tmp_path)] + TINY_FLAGS)
+        assert status == 0
+        assert "(sharded executor" in capsys.readouterr().out
+        assert len(list((tmp_path / "spool" / "results")
+                        .glob("shard-*.json"))) == 2
+
     def test_platforms_without_workloads_is_an_error(self, tmp_path,
                                                      capsys):
         status = main(["run", "--smoke", "--platforms", "mmap",
@@ -226,6 +277,68 @@ class TestShardCLI:
                      str(tmp_path / "direct" / "custom.json"),
                      str(spool / "custom.json"),
                      "--threshold", "0"]) == 0
+
+    def test_plan_balance_cost_and_status_watch(self, tmp_path, capsys):
+        """Satellites: cost-balanced planning + the watch ticker."""
+        spool = tmp_path / "spool"
+        assert main(["shard", "plan", "--shards", "2",
+                     "--spool", str(spool), "--balance", "cost",
+                     "--platforms", "mmap", "hams-TE",
+                     "--workloads", "seqRd"] + TINY_FLAGS) == 0
+        out = capsys.readouterr().out
+        assert "balanced by cost" in out
+        assert "estimated per-shard cost" in out
+
+        assert main(["shard", "work", "--spool", str(spool),
+                     "--workers", "1", "--host", "worker-a"]) == 0
+        capsys.readouterr()
+        # Per-run progress records landed next to the shard artifacts.
+        progress = sorted((spool / "progress").glob("*.jsonl"))
+        assert progress
+        records = [json.loads(line)
+                   for path in progress
+                   for line in path.read_text(encoding="utf-8").splitlines()]
+        assert {record["index"] for record in records} == {0, 1}
+        assert all(record["schema"] == "repro.events/1"
+                   for record in records)
+
+        # --watch on a completed spool prints the run tally and exits 0.
+        assert main(["shard", "status", "--spool", str(spool),
+                     "--watch", "--interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "runs 2/2" in out
+        assert "2 done, 0 running, 0 pending" in out
+
+        assert main(["shard", "merge", "--spool", str(spool),
+                     "--quiet"]) == 0
+
+    def test_status_watch_on_empty_spool_warns_instead_of_silence(
+            self, tmp_path):
+        """--watch on a missing/empty spool must say so, not spin mutely."""
+        import os
+        import subprocess
+        import sys as _sys
+        import time as _time
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            __import__("pathlib").Path(repro.__file__).parent.parent)
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "shard", "status",
+             "--spool", str(tmp_path / "typo"), "--watch",
+             "--interval", "0.05"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            text=True)
+        try:
+            _time.sleep(1.0)
+            assert proc.poll() is None  # still watching, not crashed
+        finally:
+            proc.kill()
+        _, err = proc.communicate()
+        assert "no shards found" in err
+        assert err.count("no shards found") == 1  # warned once, not spammed
 
     def test_work_explicit_manifest_is_the_recovery_path(self, tmp_path,
                                                          capsys):
