@@ -124,6 +124,14 @@ class FlashTranslationLayer:
                  gc_threshold_blocks: int = 2) -> None:
         self.geometry = geometry
         self.gc_threshold_blocks = gc_threshold_blocks
+        # The geometry is a frozen dataclass whose derived quantities are
+        # recomputed property chains; the LPN bound is checked on every
+        # translation, so hoist it once.
+        self._logical_pages = geometry.logical_pages
+        #: Every LPN in ``[0, mapped_floor)`` is known to be mapped.  Writes
+        #: never unmap, so the floor only drops when :meth:`trim` punches a
+        #: hole below it; :meth:`SSD.precondition` uses it to skip re-scans.
+        self.mapped_floor = 0
         self._mapping: Dict[int, PhysicalAddress] = {}
         self._reverse: Dict[PhysicalAddress, int] = {}
         self._planes: List[_Plane] = []
@@ -178,6 +186,8 @@ class FlashTranslationLayer:
     def trim(self, lpn: int) -> None:
         """Drop the mapping for *lpn* (discard / TRIM)."""
         self._check_lpn(lpn)
+        if lpn < self.mapped_floor:
+            self.mapped_floor = lpn
         old = self._mapping.pop(lpn, None)
         if old is not None:
             self._plane_for(old).invalidate(old)
@@ -254,9 +264,9 @@ class FlashTranslationLayer:
         return self._planes[index]
 
     def _check_lpn(self, lpn: int) -> None:
-        if lpn < 0 or lpn >= self.geometry.logical_pages:
+        if lpn < 0 or lpn >= self._logical_pages:
             raise ValueError(
-                f"LPN {lpn} out of range [0, {self.geometry.logical_pages})")
+                f"LPN {lpn} out of range [0, {self._logical_pages})")
 
     def erase_counts(self) -> List[int]:
         """Per-plane erase counts (wear indicator)."""

@@ -89,6 +89,9 @@ class SSD:
             enabled=config.dram_buffer_enabled,
             mapping_table_fraction=config.mapping_table_fraction)
         self.stats = StatRegistry(prefix=config.name)
+        # Hoisted from the frozen geometry's property chain: recomputing it
+        # per sub-request dominates profiles of migration-heavy replays.
+        self._logical_pages = config.geometry.logical_pages
         # Outstanding request completion times, used to model the device's
         # bounded queue (ULL-Flash sustains ~16 outstanding random reads).
         self._outstanding: List[float] = []
@@ -104,7 +107,7 @@ class SSD:
 
     @property
     def logical_pages(self) -> int:
-        return self.config.geometry.logical_pages
+        return self._logical_pages
 
     # -- preconditioning -------------------------------------------------------------
 
@@ -120,9 +123,15 @@ class SSD:
         end = start_lpn + page_count
         if end > self.logical_pages:
             raise ValueError("precondition range exceeds device capacity")
-        for lpn in range(start_lpn, end):
-            if not self.ftl.is_mapped(lpn):
-                self.ftl.write(lpn)
+        if end > self.ftl.mapped_floor:
+            # Below the floor every LPN is already mapped (the common case
+            # when a platform's replay re-prepares an already warmed
+            # device), so only the unproven tail needs the scan.
+            for lpn in range(max(start_lpn, self.ftl.mapped_floor), end):
+                if not self.ftl.is_mapped(lpn):
+                    self.ftl.write(lpn)
+            if start_lpn <= self.ftl.mapped_floor:
+                self.ftl.mapped_floor = end
         self.buffer.clear()
 
     # -- request servicing -------------------------------------------------------------

@@ -11,7 +11,7 @@ blk-mq, NVMe driver) that Figure 7a decomposes.
 from .cpu import CPUModel
 from .caches import CacheHierarchy, CacheLevel
 from .mmu import MMU, TLB
-from .os_stack import OSStorageStack, PageCache
+from .os_stack import OSStorageStack, PageCache, PageCacheBatchResult
 
 __all__ = [
     "CPUModel",
@@ -21,4 +21,5 @@ __all__ = [
     "TLB",
     "OSStorageStack",
     "PageCache",
+    "PageCacheBatchResult",
 ]

@@ -13,10 +13,39 @@ cache whose capacity determines how often the path is taken.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..config import OSStackConfig
+
+#: An install policy run on every batched page-cache miss: it receives the
+#: missing ``(page_number, is_write)`` and returns the evictions its
+#: ``PageCache.install`` calls produced, in install order.  The default
+#: policy installs the missing page itself; platforms with prefetching
+#: installs (migration chunks, readahead) supply their own.
+InstallPolicy = Callable[[int, bool], List[Tuple[int, bool]]]
+
+
+@dataclass
+class PageCacheBatchResult:
+    """Outcome of one :meth:`PageCache.access_batch` walk.
+
+    ``hits[i]`` is ``True`` when access *i* of the batch was resident;
+    ``miss_indices`` lists the missing positions in access order, and
+    ``evictions[k]`` holds the ``(page, dirty)`` pairs the *k*-th miss's
+    install policy evicted (in install order) — the writeback schedule the
+    platforms replay against their devices.
+    """
+
+    hits: np.ndarray
+    miss_indices: np.ndarray
+    evictions: List[List[Tuple[int, bool]]] = field(default_factory=list)
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.miss_indices)
 
 
 @dataclass
@@ -66,20 +95,115 @@ class PageCache:
     def install(self, page_number: int,
                 dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Insert a page after a fault; returns an evicted ``(page, dirty)``."""
+        if self.capacity_pages == 0:
+            # A zero-capacity cache retains nothing: no insert and, in
+            # particular, no eviction — the pre-existing residency set is
+            # empty by construction, so there is never a victim to write
+            # back.  Every access keeps counting a miss.
+            return None
         evicted: Optional[Tuple[int, bool]] = None
         if page_number in self._pages:
             self._pages.move_to_end(page_number)
             if dirty:
                 self._pages[page_number] = True
             return None
-        if self.capacity_pages and len(self._pages) >= self.capacity_pages:
+        if len(self._pages) >= self.capacity_pages:
             victim, victim_dirty = self._pages.popitem(last=False)
             if victim_dirty:
                 self.dirty_writebacks += 1
             evicted = (victim, victim_dirty)
-        if self.capacity_pages:
-            self._pages[page_number] = dirty
+        self._pages[page_number] = dirty
         return evicted
+
+    def access_batch(self, pages, writes,
+                     install: Optional[InstallPolicy] = None
+                     ) -> PageCacheBatchResult:
+        """Replay a whole access column through the LRU, order-exactly.
+
+        Equivalent — in residency set, LRU order, dirty flags, the
+        ``hits``/``misses``/``dirty_writebacks`` counters and the eviction
+        ``(page, dirty)`` sequence — to the scalar loop::
+
+            for page, is_write in zip(pages, writes):
+                if not self.access(page, is_write):
+                    install(page, is_write)
+
+        where the default install policy is
+        ``self.install(page, dirty=is_write)`` (the single-page policy of
+        Optane memory mode and the buffered ULL bypass).  A custom policy
+        may install any set of pages (migration chunks, readahead) but must
+        route every insertion through :meth:`install` and must not call
+        :meth:`access` re-entrantly.
+
+        The walk is run-length collapsed: consecutive accesses to the same
+        page are folded into one LRU transition, because once a page is
+        resident the rest of its run can only hit (a hit moves the page to
+        the MRU end and never evicts).  Residency is re-checked after every
+        install, so policies that fail to leave the missing page resident —
+        a zero-capacity cache, or a chunk install whose own tail evicts the
+        faulting page again — fall out of the collapse and keep missing,
+        exactly as the scalar loop would.
+        """
+        pages = np.ascontiguousarray(pages, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        count = len(pages)
+        if len(writes) != count:
+            raise ValueError("pages and writes must be equal-length")
+        hits = np.ones(count, dtype=bool)
+        miss_positions: List[int] = []
+        evictions: List[List[Tuple[int, bool]]] = []
+        if count == 0:
+            return PageCacheBatchResult(hits=hits,
+                                        miss_indices=np.empty(0, dtype=np.int64),
+                                        evictions=evictions)
+        if install is None:
+            install = self._install_single_page
+
+        # Maximal same-page runs: run k covers [starts[k], ends[k]).
+        change = np.flatnonzero(pages[1:] != pages[:-1]) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), change))
+        ends = np.concatenate((change, np.asarray([count], dtype=np.int64)))
+        run_pages = pages[starts].tolist()
+        starts_list = starts.tolist()
+        ends_list = ends.tolist()
+        # Prefix write counts: any write in [a, b) iff write_prefix[b] >
+        # write_prefix[a] — O(1) per collapsed run tail.
+        write_prefix = np.concatenate(
+            (np.zeros(1, dtype=np.int64),
+             np.cumsum(writes, dtype=np.int64))).tolist()
+        writes_list = writes.tolist()
+
+        residency = self._pages
+        move_to_end = residency.move_to_end
+        for start, end, page in zip(starts_list, ends_list, run_pages):
+            index = start
+            while index < end and page not in residency:
+                miss_positions.append(index)
+                evictions.append(install(page, writes_list[index]))
+                index += 1
+            if index < end:
+                # The rest of the run is guaranteed hits: one MRU move and
+                # one dirty-flag update stand in for each scalar touch.
+                move_to_end(page)
+                if write_prefix[end] > write_prefix[index]:
+                    residency[page] = True
+        miss_count = len(miss_positions)
+        miss_indices = np.asarray(miss_positions, dtype=np.int64)
+        hits[miss_indices] = False
+        self.hits += count - miss_count
+        self.misses += miss_count
+        return PageCacheBatchResult(hits=hits, miss_indices=miss_indices,
+                                    evictions=evictions)
+
+    def _install_single_page(self, page_number: int,
+                             is_write: bool) -> List[Tuple[int, bool]]:
+        """The default install policy: the missing page itself."""
+        evicted = self.install(page_number, dirty=is_write)
+        return [] if evicted is None else [evicted]
+
+    def resident_pages(self) -> List[int]:
+        """The resident pages in LRU order (least recently used first)."""
+        return list(self._pages)
 
     def clean(self, page_number: int) -> None:
         """Clear the dirty flag after the page has been written back."""
@@ -93,6 +217,20 @@ class PageCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def statistics(self, prefix: str = "page_cache") -> Dict[str, float]:
+        """The cache's observable counters, keyed under *prefix*.
+
+        The DRAM-cache platforms merge this into their ``RunResult`` extras
+        (``dram_cache_*`` / ``page_buffer_*``), where the golden
+        scalar-vs-batched tests compare every entry exactly.
+        """
+        return {
+            f"{prefix}_hit_rate": self.hit_rate,
+            f"{prefix}_hits": float(self.hits),
+            f"{prefix}_misses": float(self.misses),
+            f"{prefix}_writebacks": float(self.dirty_writebacks),
+        }
 
 
 class OSStorageStack:

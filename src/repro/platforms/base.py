@@ -25,8 +25,11 @@ bit-identical results:
 implementation replays the batch through the scalar
 ``service_memory_access`` hook while advancing the clock exactly as the
 scalar loop would (so clock- and history-dependent platforms — mmap, HAMS,
-FlatFlash, NVDIMM-C — are correct without any changes), and the analytic
-platforms override it with truly vectorized implementations.  All batched
+FlatFlash — are correct without any changes), the analytic platforms
+override it with truly vectorized implementations, and the DRAM-cache
+platforms (NVDIMM-C, Optane memory mode, the ULL bypasses) combine an
+order-exact batched LRU walk (:meth:`repro.host.os_stack.PageCache.access_batch`)
+with :meth:`MemoryRequestBatch.service_page_cached`.  All batched
 bookkeeping uses :func:`repro.numerics.sequential_add`, which reproduces the
 scalar loop's left-to-right floating-point rounding bit for bit — the
 equivalence is locked in by ``tests/test_batched_replay.py``.
@@ -189,6 +192,73 @@ class MemoryRequestBatch:
         return MemoryServiceBatch(latency_ns=latency, os_ns=os_ns,
                                   storage_ns=storage_ns)
 
+    def service_page_cached(self, hit_mask: np.ndarray,
+                            hit_latency_ns: np.ndarray,
+                            miss_indices: np.ndarray,
+                            miss_service) -> "MemoryServiceBatch":
+        """Fold a page-cache hit/miss split into a service batch, clock-exactly.
+
+        The engine behind the DRAM-cache platforms' vectorized
+        ``service_batch``: the caller classifies every request against its
+        page cache (one :meth:`~repro.host.os_stack.PageCache.access_batch`
+        walk) and computes the hits' clock-independent service latencies in
+        one vectorized pass (``hit_latency_ns``, a full-length column whose
+        values at miss positions are ignored); this method then walks only
+        the misses, handing ``miss_service(k, index, now)`` — the *k*-th
+        miss, batch row *index* — the exact issue clock the scalar replay
+        loop would have passed, and expecting ``(latency_ns, os_ns,
+        storage_ns)`` back.  The clock is reconstructed from the batch's
+        :class:`BatchTimeline` by the same left-to-right float accumulation
+        the scalar loop performs (hit slots are pre-filled with their
+        on-chip + service addends), so clock- and history-dependent miss
+        paths (SSD reads, link transfers) stay bit-identical while the hits
+        never enter a Python loop.
+        """
+        count = len(self)
+        latency = np.array(hit_latency_ns, dtype=np.float64, copy=True)
+        os_ns = np.zeros(count, dtype=np.float64)
+        storage_ns = np.zeros(count, dtype=np.float64)
+        if self.timeline is not None:
+            addends = self.timeline.addends.copy()
+            slots = self.timeline.service_slots
+        else:
+            # No timeline: requests issue back to back, one addend each.
+            addends = np.zeros(count, dtype=np.float64)
+            slots = np.arange(count, dtype=np.int64)
+        if len(miss_indices) == 0:
+            return MemoryServiceBatch(latency_ns=latency, os_ns=os_ns,
+                                      storage_ns=storage_ns)
+        hit_indices = np.flatnonzero(hit_mask)
+        addends[slots[hit_indices]] = (self.on_chip_ns[hit_indices]
+                                       + latency[hit_indices])
+        addends_list = None  # materialised lazily, for short-gap folds only
+        miss_slots = slots[miss_indices].tolist()
+        miss_on_chip = self.on_chip_ns[miss_indices].tolist()
+        now = self.start_ns
+        cursor = 0
+        for k, (j, slot, on_chip) in enumerate(zip(miss_indices.tolist(),
+                                                   miss_slots, miss_on_chip)):
+            gap = slot - cursor
+            if gap >= 64:
+                # Long hit/compute stretch: one strict sequential fold.
+                now = sequential_add(now, addends[cursor:slot])
+            elif gap:
+                if addends_list is None:
+                    addends_list = addends.tolist()
+                for addend in addends_list[cursor:slot]:
+                    now += addend
+            service_latency, service_os, service_storage = \
+                miss_service(k, j, now)
+            latency[j] = service_latency
+            os_ns[j] = service_os
+            storage_ns[j] = service_storage
+            total = (((on_chip + service_latency) + service_os)
+                     + service_storage)
+            now += total
+            cursor = slot + 1
+        return MemoryServiceBatch(latency_ns=latency, os_ns=os_ns,
+                                  storage_ns=storage_ns)
+
 
 class MemoryServiceBatch:
     """Columnar result of servicing a :class:`MemoryRequestBatch`.
@@ -304,11 +374,14 @@ class Platform(abc.ABC):
         The default drives :meth:`service_memory_access` one request at a
         time while advancing the clock exactly as the scalar replay loop
         would (via the batch's timeline), so platforms whose device timing
-        depends on the clock or on request history — mmap, HAMS, FlatFlash,
-        NVDIMM-C, the flash-backed bypass strategies — inherit correct and
-        bit-identical behaviour without any changes.  Platforms whose
-        service cost is clock-independent (oracle, Optane App Direct, the
-        NVDIMM bypass) override this with truly vectorized implementations.
+        depends on the clock or on request history — mmap, HAMS, FlatFlash —
+        inherit correct and bit-identical behaviour without any changes.
+        Platforms whose service cost is clock-independent (oracle, Optane
+        App Direct, the NVDIMM bypass) override this with truly vectorized
+        implementations, and the DRAM-cache platforms (NVDIMM-C, Optane
+        memory mode, the ULL bypasses) override it with the batched
+        page-cache walk + :meth:`MemoryRequestBatch.service_page_cached`
+        fold, which keeps their (clock-dependent) miss paths exact.
         """
         return batch.service_sequentially(self.service_memory_access)
 

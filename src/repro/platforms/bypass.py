@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from ..config import SystemConfig
 from ..energy.accounting import EnergyAccount
 from ..flash.ssd import SSD
@@ -84,19 +86,60 @@ class BypassPlatform(Platform):
         return MemoryServiceResult(latency_ns=latency)
 
     def service_batch(self, batch: MemoryRequestBatch) -> MemoryServiceBatch:
-        """Vectorized service for the all-NVDIMM strategy.
+        """Vectorized service for every bypass strategy.
 
         ``nvdimm`` bypass is clock-independent DRAM, so the whole batch
-        resolves in one vectorized call.  The ``ull`` / ``ull-buff``
-        strategies put a (queued, history-dependent) flash device and a
-        stateful page buffer on the load/store path, so they use the exact
-        sequential default.
+        resolves in one vectorized call.  ``ull-buff`` fronts the flash
+        with a DRAM page buffer: the order-exact batched LRU walk
+        (:meth:`~repro.host.os_stack.PageCache.access_batch`) classifies
+        the batch, the buffer hits fold into one vectorized NVDIMM call,
+        and only the misses — whose flash reads and PCIe transfers are
+        queued and history-dependent — replay at exact scalar issue clocks
+        via :meth:`~repro.platforms.base.MemoryRequestBatch.service_page_cached`.
+        ``ull`` is the degenerate all-miss case of the same fold (the page
+        buffer never enters the load/store path).
         """
-        if self.strategy != "nvdimm":
-            return super().service_batch(batch)
-        latency = self.nvdimm.access_batch(batch.sizes, batch.writes)
-        self._nvdimm_busy_ns = sequential_add(self._nvdimm_busy_ns, latency)
-        return MemoryServiceBatch(latency_ns=latency)
+        if self.strategy == "nvdimm":
+            latency = self.nvdimm.access_batch(batch.sizes, batch.writes)
+            self._nvdimm_busy_ns = sequential_add(self._nvdimm_busy_ns,
+                                                  latency)
+            return MemoryServiceBatch(latency_ns=latency)
+        count = len(batch)
+        if count == 0:
+            return MemoryServiceBatch(latency_ns=np.empty(0))
+        pages = batch.addresses // _PAGE
+        if self.strategy == "ull-buff":
+            walk = self.page_buffer.access_batch(pages, batch.writes)
+            hit_mask = walk.hits
+            miss_indices = walk.miss_indices
+        else:
+            hit_mask = np.zeros(count, dtype=bool)
+            miss_indices = np.arange(count, dtype=np.int64)
+        hit_latency = np.zeros(count, dtype=np.float64)
+        hit_positions = np.flatnonzero(hit_mask)
+        if len(hit_positions):
+            buffered_sizes = np.minimum(batch.sizes[hit_positions], _PAGE)
+            buffered = self.nvdimm.access_batch(buffered_sizes,
+                                                batch.writes[hit_positions])
+            self._nvdimm_busy_ns = sequential_add(self._nvdimm_busy_ns,
+                                                  buffered)
+            hit_latency[hit_positions] = buffered
+        # Only the misses read the scalar views; all-hit chunks skip them.
+        any_misses = len(miss_indices) > 0
+        pages_list = pages.tolist() if any_misses else []
+        writes_list = batch.writes.tolist() if any_misses else []
+
+        def miss_service(k: int, index: int, now: float):
+            page = pages_list[index]
+            if writes_list[index]:
+                io = self.ssd.write(page * _PAGE, _PAGE, now)
+            else:
+                io = self.ssd.read(page * _PAGE, _PAGE, now)
+            transfer = self.link.transfer(_PAGE, io.finish_ns)
+            return (io.finish_ns - now) + transfer.latency_ns, 0.0, 0.0
+
+        return batch.service_page_cached(hit_mask, hit_latency, miss_indices,
+                                         miss_service)
 
     def collect_energy(self, account: EnergyAccount) -> None:
         account.charge_nvdimm(active_ns=self._nvdimm_busy_ns,
@@ -106,5 +149,5 @@ class BypassPlatform(Platform):
 
     def extra_statistics(self) -> Dict[str, float]:
         stats = super().extra_statistics()
-        stats["page_buffer_hit_rate"] = self.page_buffer.hit_rate
+        stats.update(self.page_buffer.statistics("page_buffer"))
         return stats

@@ -10,16 +10,24 @@ as ~48 us even though the Z-NAND read itself takes 3 us (Section VI-B).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from ..config import SystemConfig
 from ..energy.accounting import EnergyAccount
 from ..flash.ssd import SSD
 from ..host.os_stack import PageCache
 from ..memory.nvdimm import NVDIMM
+from ..numerics import sequential_add
 from ..units import KB, us
 from ..workloads.trace import WorkloadTrace
-from .base import MemoryServiceResult, Platform
+from .base import (
+    MemoryRequestBatch,
+    MemoryServiceBatch,
+    MemoryServiceResult,
+    Platform,
+)
 
 _PAGE = KB(4)
 
@@ -27,12 +35,17 @@ _PAGE = KB(4)
 class NvdimmCPlatform(Platform):
     """DRAM-cached flash DIMM with refresh-window-limited migration.
 
-    The platform deliberately keeps the base class's exact sequential
-    :meth:`~repro.platforms.base.Platform.service_batch`: its DRAM cache is
-    a stateful LRU whose hit/miss interleaving, and its migration reads'
-    dependence on the request clock and SSD channel history, make every
-    request order- and time-dependent — the properties the vectorized
-    overrides (oracle, Optane App Direct, NVDIMM bypass) are free of.
+    The DRAM cache is a stateful LRU whose hit/miss interleaving — and
+    whose migration reads' dependence on the request clock and SSD channel
+    history — make every request order- and time-dependent.
+    :meth:`service_batch` nevertheless vectorizes the replay: one
+    order-exact :meth:`~repro.host.os_stack.PageCache.access_batch` walk
+    classifies the whole batch and captures the per-miss eviction schedule,
+    the DRAM latencies fold in one vectorized
+    :meth:`~repro.memory.nvdimm.NVDIMM.access_batch` call, and only the
+    misses — whose migrations genuinely depend on the clock — replay
+    against the SSD at exactly reconstructed issue times
+    (:meth:`~repro.platforms.base.MemoryRequestBatch.service_page_cached`).
     """
 
     name = "nvdimm-C"
@@ -70,22 +83,79 @@ class NvdimmCPlatform(Platform):
         # Miss: a whole migration chunk moves from flash to DRAM, but only
         # during refresh windows — the flash read is cheap, the wait is not.
         self.migrations += 1
-        chunk_first = (page // self._pages_per_migration) * self._pages_per_migration
+        evictions = self._install_migration_chunk(page, is_write)
+        migration_ns = self._migrate_chunk(page, evictions, at_ns)
+        served = self.dram.access(size_bytes, is_write)
+        self._dram_busy_ns += served.latency_ns
+        return MemoryServiceResult(latency_ns=migration_ns + served.latency_ns)
+
+    def _chunk_first(self, page: int) -> int:
+        """First OS page of the migration chunk covering *page*."""
+        return (page // self._pages_per_migration) * self._pages_per_migration
+
+    def _install_migration_chunk(self, page: int,
+                                 is_write: bool) -> List[Tuple[int, bool]]:
+        """Install the migration chunk covering *page*; returns evictions.
+
+        The on-DIMM controller moves a whole chunk per refresh window, so a
+        miss installs every OS page the chunk covers (the faulting access's
+        dirtiness lands on the chunk head, as the controller tracks
+        dirtiness at migration granularity).  Also the install policy of the
+        batched :meth:`~repro.host.os_stack.PageCache.access_batch` walk.
+        """
+        chunk_first = self._chunk_first(page)
+        evictions: List[Tuple[int, bool]] = []
+        for offset in range(self._pages_per_migration):
+            evicted = self.dram_cache.install(chunk_first + offset,
+                                              dirty=is_write and offset == 0)
+            if evicted is not None:
+                evictions.append(evicted)
+        return evictions
+
+    def _migrate_chunk(self, page: int, evictions: List[Tuple[int, bool]],
+                       at_ns: float) -> float:
+        """Charge one refresh-window migration plus its dirty writebacks."""
+        chunk_first = self._chunk_first(page)
         io = self.ssd.read(chunk_first * _PAGE,
                            self.migration_granularity_bytes, at_ns)
         device_ns = io.finish_ns - at_ns
         migration_ns = max(self.migration_latency_ns, device_ns)
-
-        for offset in range(self._pages_per_migration):
-            evicted = self.dram_cache.install(chunk_first + offset,
-                                              dirty=is_write and offset == 0)
-            if evicted is not None and evicted[1]:
-                self.ssd.write(evicted[0] * _PAGE, _PAGE, at_ns + migration_ns)
+        for victim, victim_dirty in evictions:
+            if victim_dirty:
+                self.ssd.write(victim * _PAGE, _PAGE, at_ns + migration_ns)
                 migration_ns += self.migration_latency_ns * 0.1  # mostly overlapped
+        return migration_ns
 
-        served = self.dram.access(size_bytes, is_write)
-        self._dram_busy_ns += served.latency_ns
-        return MemoryServiceResult(latency_ns=migration_ns + served.latency_ns)
+    def service_batch(self, batch: MemoryRequestBatch) -> MemoryServiceBatch:
+        """Vectorized service around the order-exact batched LRU walk.
+
+        One :meth:`~repro.host.os_stack.PageCache.access_batch` walk (with
+        the chunk-install policy) yields the hit mask and the per-miss
+        eviction schedule, the DRAM cost of every request folds in one
+        vectorized call, and only the misses replay against the SSD at
+        their exact scalar-loop issue clocks.  Bit-identical to the scalar
+        path — ``tests/test_batched_replay.py`` is the contract.
+        """
+        if len(batch) == 0:
+            return MemoryServiceBatch(latency_ns=np.empty(0))
+        pages = batch.addresses // _PAGE
+        walk = self.dram_cache.access_batch(
+            pages, batch.writes, install=self._install_migration_chunk)
+        dram_latency = self.dram.access_batch(batch.sizes, batch.writes)
+        self._dram_busy_ns = sequential_add(self._dram_busy_ns, dram_latency)
+        self.migrations += walk.miss_count
+        # Only the misses read the scalar views; all-hit chunks skip them.
+        pages_list = pages.tolist() if walk.miss_count else []
+        dram_latency_list = dram_latency.tolist() if walk.miss_count else []
+        evictions = walk.evictions
+
+        def miss_service(k: int, index: int, now: float):
+            migration_ns = self._migrate_chunk(pages_list[index],
+                                               evictions[k], now)
+            return migration_ns + dram_latency_list[index], 0.0, 0.0
+
+        return batch.service_page_cached(walk.hits, dram_latency,
+                                         walk.miss_indices, miss_service)
 
     def collect_energy(self, account: EnergyAccount) -> None:
         account.charge_nvdimm(active_ns=self._dram_busy_ns,
@@ -95,8 +165,6 @@ class NvdimmCPlatform(Platform):
 
     def extra_statistics(self) -> Dict[str, float]:
         stats = super().extra_statistics()
-        stats.update({
-            "dram_cache_hit_rate": self.dram_cache.hit_rate,
-            "migrations": float(self.migrations),
-        })
+        stats.update(self.dram_cache.statistics("dram_cache"))
+        stats["migrations"] = float(self.migrations)
         return stats

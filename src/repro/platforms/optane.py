@@ -12,12 +12,15 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from ..config import SystemConfig
 from ..energy.accounting import EnergyAccount
 from ..energy.models import EnergyModel
 from ..host.os_stack import PageCache
 from ..memory.nvdimm import NVDIMM
 from ..memory.optane import OptaneDCPMM
+from ..numerics import sequential_add
 from ..units import KB
 from .base import (
     MemoryRequestBatch,
@@ -76,22 +79,77 @@ class OptanePlatform(Platform):
         return MemoryServiceResult(latency_ns=latency)
 
     def service_batch(self, batch: MemoryRequestBatch) -> MemoryServiceBatch:
-        """Vectorized App Direct service; Memory mode keeps the fallback.
+        """Vectorized service in both Optane modes.
 
         In App Direct mode the media latency is clock-independent, so one
         :meth:`~repro.memory.optane.OptaneDCPMM.access_batch` call resolves
         the whole batch (the XPBuffer state machine runs inside it, in
         request order).  Memory mode fronts the media with a stateful LRU
-        DRAM cache whose hit/miss interleaving is inherently sequential, so
-        it uses the exact sequential default.
+        DRAM cache, resolved by the order-exact batched walk of
+        :meth:`_service_batch_memory_mode`.
         """
         if self.dram_cache_enabled:
-            return super().service_batch(batch)
+            return self._service_batch_memory_mode(batch)
         latency = self.optane.access_batch(batch.sizes, batch.writes)
         if batch.writes.any():
             # App Direct persistence: clwb + sfence on the store path.
             latency[batch.writes] += \
                 self.config.optane.persist_write_overhead_ns
+        return MemoryServiceBatch(latency_ns=latency)
+
+    def _service_batch_memory_mode(self,
+                                   batch: MemoryRequestBatch
+                                   ) -> MemoryServiceBatch:
+        """Memory-mode batch service: batched LRU walk + vectorized media.
+
+        Every per-request cost in Memory mode is clock-independent, so the
+        whole batch vectorizes once the DRAM cache's hit/miss/eviction
+        interleaving is known: one order-exact
+        :meth:`~repro.host.os_stack.PageCache.access_batch` walk captures
+        it, the DRAM service of every request folds in one
+        :meth:`~repro.memory.nvdimm.NVDIMM.access_batch` call, and the
+        misses' media traffic — a 4 KB fetch each, plus a 4 KB writeback
+        when the install evicted a dirty victim — replays through
+        :meth:`~repro.memory.optane.OptaneDCPMM.access_batch` in exactly
+        the scalar call order, preserving the XPBuffer state machine.
+        """
+        assert self.dram is not None and self.dram_cache is not None
+        count = len(batch)
+        if count == 0:
+            return MemoryServiceBatch(latency_ns=np.empty(0))
+        pages = batch.addresses // _CACHE_PAGE
+        walk = self.dram_cache.access_batch(pages, batch.writes)
+        dram_latency = self.dram.access_batch(batch.sizes, batch.writes)
+        self._dram_busy_ns = sequential_add(self._dram_busy_ns, dram_latency)
+        latency = dram_latency.copy()
+        misses = walk.miss_indices
+        if len(misses):
+            dirty_victim = np.fromiter(
+                (bool(evicted) and evicted[0][1] for evicted in walk.evictions),
+                dtype=bool, count=len(misses))
+            writeback_count = int(np.count_nonzero(dirty_victim))
+            # The scalar media-call schedule: per miss one 4 KB fetch read,
+            # followed — when the install evicted a dirty victim — by one
+            # 4 KB writeback write.  fetch_at[k] is the k-th miss's read
+            # position in that interleaved sequence.
+            writebacks_before = np.concatenate(
+                (np.zeros(1, dtype=np.int64),
+                 np.cumsum(dirty_victim, dtype=np.int64)[:-1]))
+            fetch_at = np.arange(len(misses), dtype=np.int64) + writebacks_before
+            schedule_writes = np.zeros(len(misses) + writeback_count,
+                                       dtype=bool)
+            schedule_writes[fetch_at[dirty_victim] + 1] = True
+            schedule_sizes = np.full(len(schedule_writes), _CACHE_PAGE,
+                                     dtype=np.int64)
+            media_latency = self.optane.access_batch(schedule_sizes,
+                                                     schedule_writes)
+            # Same left-to-right accumulation as the scalar miss path:
+            # fetch, then the dirty writeback, then the DRAM service.
+            miss_latency = media_latency[fetch_at]
+            miss_latency[dirty_victim] += media_latency[fetch_at[dirty_victim]
+                                                        + 1]
+            miss_latency += dram_latency[misses]
+            latency[misses] = miss_latency
         return MemoryServiceBatch(latency_ns=latency)
 
     def collect_energy(self, account: EnergyAccount) -> None:
@@ -112,5 +170,5 @@ class OptanePlatform(Platform):
         stats.update({f"optane_{key}": value
                       for key, value in self.optane.statistics().items()})
         if self.dram_cache is not None:
-            stats["dram_cache_hit_rate"] = self.dram_cache.hit_rate
+            stats.update(self.dram_cache.statistics("dram_cache"))
         return stats

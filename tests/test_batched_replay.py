@@ -6,9 +6,19 @@ the legacy scalar loop on every registered platform — not approximately
 equal: every float in the ``RunResult``, including the energy breakdown and
 the extras counters, must match to the last ulp.  These tests are the
 contract that lets the vectorized platforms rewrite their hot paths freely.
+
+``REPRO_TEST_CHUNK_SIZES`` (a comma-separated list, e.g. ``1,7,64``; the
+token ``default`` keeps the platform default) re-runs the whole golden
+matrix once per chunk size — the CI chunk-size parity leg uses it to gate
+the vectorized platforms on bit-exactness at pathological chunk
+boundaries.  The DRAM-cache platforms (nvdimm-C, optane-M and the ULL
+bypasses), whose batched path is the order-exact ``PageCache.access_batch``
+walk, additionally get a dedicated chunk-size sweep ({1, 7, whole-trace})
+with explicit page-cache hit-rate / writeback assertions.
 """
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
@@ -32,6 +42,31 @@ SCALE = ExperimentScale(capacity_scale=1 / 256, min_accesses=200,
 #: filter and both write-heavy and read-heavy service streams.
 WORKLOADS = ("seqRd", "rndWr", "update")
 
+#: The platforms whose ``service_batch`` rides the batched LRU page-cache
+#: walk, with the attribute their :class:`~repro.host.os_stack.PageCache`
+#: lives under.
+DRAM_CACHE_PLATFORMS = {
+    "nvdimm-C": "dram_cache",
+    "optane-M": "dram_cache",
+    "bypass-ull": "page_buffer",
+    "bypass-ull-buff": "page_buffer",
+}
+
+
+def _chunk_sizes():
+    """Chunk sizes to sweep, from ``REPRO_TEST_CHUNK_SIZES`` (CI leg)."""
+    raw = os.environ.get("REPRO_TEST_CHUNK_SIZES", "").strip()
+    if not raw:
+        return (None,)
+    sizes = []
+    for token in raw.split(","):
+        token = token.strip()
+        sizes.append(None if token in ("", "default") else int(token))
+    return tuple(sizes)
+
+
+CHUNK_SIZES = _chunk_sizes()
+
 
 @pytest.fixture(scope="module")
 def config():
@@ -48,21 +83,77 @@ def result_fields(result) -> dict:
     return dataclasses.asdict(result)
 
 
+def _run_batched(platform_name, config, trace, chunk_size):
+    platform = create_platform(platform_name, config)
+    if chunk_size is not None:
+        platform.replay_chunk_size = chunk_size
+    return platform, platform.run(trace, execution="batched")
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
 @pytest.mark.parametrize("platform_name", available_platforms())
 @pytest.mark.parametrize("workload", WORKLOADS)
-def test_batched_replay_is_bit_identical(platform_name, workload, config,
-                                         traces):
+def test_batched_replay_is_bit_identical(platform_name, workload, chunk_size,
+                                         config, traces):
     trace = traces[workload]
     scalar = create_platform(platform_name, config).run(trace,
                                                         execution="scalar")
-    batched = create_platform(platform_name, config).run(trace,
-                                                         execution="batched")
+    _, batched = _run_batched(platform_name, config, trace, chunk_size)
     scalar_fields = result_fields(scalar)
     batched_fields = result_fields(batched)
     mismatched = {key for key in scalar_fields
                   if scalar_fields[key] != batched_fields[key]}
     assert not mismatched, {
         key: (scalar_fields[key], batched_fields[key]) for key in mismatched}
+
+
+@pytest.mark.parametrize("platform_name", sorted(DRAM_CACHE_PLATFORMS))
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_dram_cache_platform_chunk_parity(platform_name, workload, config,
+                                          traces):
+    """The batched LRU walk is exact at every chunk boundary.
+
+    Beyond the full ``RunResult`` equality, this pins the page-cache
+    observables the vectorization could most plausibly skew: the hit-rate
+    extras and the raw hit/miss/dirty-writeback counters of the underlying
+    :class:`~repro.host.os_stack.PageCache`.
+    """
+    trace = traces[workload]
+    scalar_platform = create_platform(platform_name, config)
+    scalar = scalar_platform.run(trace, execution="scalar")
+    scalar_fields = result_fields(scalar)
+    scalar_cache = getattr(scalar_platform,
+                           DRAM_CACHE_PLATFORMS[platform_name])
+    for chunk_size in (1, 7, len(trace)):
+        platform, batched = _run_batched(platform_name, config, trace,
+                                         chunk_size)
+        assert result_fields(batched) == scalar_fields, chunk_size
+        cache = getattr(platform, DRAM_CACHE_PLATFORMS[platform_name])
+        assert cache.hits == scalar_cache.hits, chunk_size
+        assert cache.misses == scalar_cache.misses, chunk_size
+        assert cache.dirty_writebacks == scalar_cache.dirty_writebacks, \
+            chunk_size
+        assert cache.hit_rate == scalar_cache.hit_rate, chunk_size
+        assert cache.resident_pages() == scalar_cache.resident_pages(), \
+            chunk_size
+        assert cache.dirty_pages() == scalar_cache.dirty_pages(), chunk_size
+
+
+@pytest.mark.parametrize("platform_name", ("nvdimm-C", "optane-M",
+                                           "bypass-ull-buff"))
+def test_dram_cache_stats_exposed_and_exact(platform_name, config, traces):
+    """The hit-rate / writeback extras match exactly between the paths."""
+    trace = traces["rndWr"]
+    scalar = create_platform(platform_name, config).run(trace,
+                                                        execution="scalar")
+    _, batched = _run_batched(platform_name, config, trace, None)
+    prefix = ("dram_cache" if platform_name != "bypass-ull-buff"
+              else "page_buffer")
+    for suffix in ("hit_rate", "hits", "misses", "writebacks"):
+        key = f"{prefix}_{suffix}"
+        assert key in scalar.extras
+        assert scalar.extras[key] == batched.extras[key], key
+    assert scalar.extras[f"{prefix}_hits"] > 0
 
 
 def test_default_mode_is_batched(config, traces):
@@ -80,12 +171,13 @@ def test_unknown_execution_mode_rejected(config, traces):
         platform.run(traces["seqRd"], execution="warp")
 
 
-def test_chunk_size_does_not_change_results(config, traces):
+@pytest.mark.parametrize("platform_name", ("hams-TE", "nvdimm-C"))
+def test_chunk_size_does_not_change_results(platform_name, config, traces):
     """The chunk boundary is an implementation detail, not a model input."""
     trace = traces["update"]
-    reference = create_platform("hams-TE", config).run(trace)
+    reference = create_platform(platform_name, config).run(trace)
     for chunk_size in (1, 7, 64, 10_000):
-        platform = create_platform("hams-TE", config)
+        platform = create_platform(platform_name, config)
         platform.replay_chunk_size = chunk_size
         assert result_fields(platform.run(trace)) \
             == result_fields(reference), chunk_size

@@ -208,6 +208,63 @@ class TestPageCache:
         cache.access(1, False)
         assert cache.hit_rate == pytest.approx(0.5)
 
+    def test_resident_pages_in_lru_order(self):
+        cache = PageCache(KB(16), KB(4))
+        for page in (1, 2, 3):
+            cache.install(page)
+        cache.access(1, False)
+        assert cache.resident_pages() == [2, 3, 1]
+
+
+class TestPageCacheCapacityEdges:
+    """Regression tests for the zero-capacity install guard and the
+    unbounded (never-evicting) regime."""
+
+    def test_zero_capacity_never_retains_pages(self):
+        cache = PageCache(0, KB(4))
+        assert cache.capacity_pages == 0
+        for _ in range(3):
+            assert cache.access(7, True) is False
+            assert cache.install(7, dirty=True) is None
+        assert len(cache) == 0
+        assert cache.resident_pages() == []
+        assert 7 not in cache
+
+    def test_zero_capacity_counts_misses_consistently(self):
+        cache = PageCache(0, KB(4))
+        for page in (1, 1, 2, 3, 2):
+            assert cache.access(page, False) is False
+            cache.install(page)
+        assert cache.misses == 5
+        assert cache.hits == 0
+        assert cache.hit_rate == 0.0
+        # No residency means no victims: the guard must never manufacture
+        # an eviction (or a dirty writeback) out of an empty cache.
+        assert cache.dirty_writebacks == 0
+
+    def test_sub_page_capacity_rounds_down_to_zero(self):
+        cache = PageCache(KB(4) - 1, KB(4))
+        assert cache.capacity_pages == 0
+        assert cache.install(1, dirty=True) is None
+        assert len(cache) == 0
+
+    def test_capacity_one_evicts_on_every_new_page(self):
+        cache = PageCache(KB(4), KB(4))
+        assert cache.install(1, dirty=True) is None
+        assert cache.install(2) == (1, True)
+        assert cache.install(3) == (2, False)
+        assert cache.resident_pages() == [3]
+        assert cache.dirty_writebacks == 1
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = PageCache(KB(4) * 10_000, KB(4))
+        for page in range(1_000):
+            assert cache.install(page, dirty=page % 2 == 0) is None
+        assert len(cache) == 1_000
+        assert cache.dirty_writebacks == 0
+        assert cache.resident_pages() == list(range(1_000))
+        assert cache.dirty_pages() == [p for p in range(1_000) if p % 2 == 0]
+
 
 class TestOSStorageStack:
     def test_major_fault_cost_matches_paper_range(self):
