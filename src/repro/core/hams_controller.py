@@ -26,7 +26,9 @@ hams-TE   tight, extend   DDR4 register interface, parallel queue
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..config import SystemConfig
 from ..flash.ssd import SSD
@@ -36,8 +38,9 @@ from ..memory.nvdimm import NVDIMM
 from ..nvme.controller import NVMeController
 from ..nvme.prp import PRPPool, PRPPoolExhausted
 from ..nvme.queues import QueuePair
-from .address_manager import AddressManager
+from .address_manager import AddressManager, DecomposedAddress
 from .hazard import HazardManager
+from .tag_array import TagLookup
 from .nvme_engine import HardwareNVMeEngine
 from .persistency import PersistencyController, RecoveryReport
 from .register_interface import RegisterInterface
@@ -75,6 +78,22 @@ class _DelayTotals:
     @property
     def total_ns(self) -> float:
         return self.nvdimm_ns + self.dma_ns + self.ssd_ns + self.wait_ns
+
+
+@dataclass
+class HAMSBatchPlan:
+    """Clock-free classification of one request batch (see :meth:`classify_batch`).
+
+    ``hits`` marks the requests served straight from the NVDIMM cache,
+    ``serve_ns`` / ``probe_ns`` are their pure timing ingredients, and
+    ``misses`` carries everything the clocked replay of each miss needs:
+    ``(position, address, decomposed, lookup)`` in batch order.
+    """
+
+    hits: np.ndarray
+    serve_ns: np.ndarray
+    probe_ns: float
+    misses: List[Tuple[int, int, DecomposedAddress, TagLookup]]
 
 
 class HAMSController:
@@ -194,6 +213,149 @@ class HAMSController:
         self.delays.wait_ns += result.wait_ns
         return result
 
+    # -- batched classification (the clock-free half of the datapath) --------------------
+
+    def classify_batch(self, addresses: np.ndarray, sizes: np.ndarray,
+                       writes: np.ndarray) -> HAMSBatchPlan:
+        """Walk one request batch through the tag array, clock-free.
+
+        The tag array, the dirty bits and the direct-mapped installs do not
+        depend on the clock, so one scalar-order walk classifies the whole
+        batch and leaves the tag state exactly where the scalar loop would:
+        hits mark their entry dirty on stores, misses install their page
+        (the scalar path installs at the end of :meth:`_handle_miss`, but
+        nothing between the lookup and the install reads the array).  The
+        walk also records the batch's complete NVDIMM traffic — probe,
+        victim clone, critical-chunk landing, serve — in the exact scalar
+        call order and charges it through one
+        :meth:`~repro.memory.nvdimm.NVDIMM.access_batch` fold, so the DRAM
+        counters (and the bit-exact ``busy_ns`` accumulation) match the
+        scalar replay.  Everything clock-dependent — engine waits, NVMe
+        issue, background-eviction parking — stays out of the plan and runs
+        later through :meth:`replay_miss`.
+        """
+        count = len(addresses)
+        self.accesses += count
+        nvdimm = self.nvdimm
+        mos_page_bytes = self.mos_page_bytes
+        tag_array = self.tag_array
+        entries = tag_array._entries
+        entries_count = tag_array.entries_count
+        line_size = self.config.nvdimm.ddr.line_size
+        line_ns = nvdimm.line_access_ns()
+        probe_ns = line_ns + self.hams_config.tag_check_ns
+
+        mos_pages = addresses // mos_page_bytes
+        offsets_col = addresses % mos_page_bytes
+        indices_col = mos_pages % entries_count
+        tags_col = mos_pages // entries_count
+
+        serve_ns = np.empty(count, dtype=np.float64)
+        fine = sizes <= line_size
+        serve_ns[fine] = line_ns
+        for size in np.unique(sizes[~fine]):
+            serve_ns[sizes == size] = nvdimm.page_access_ns(int(size))
+
+        mos_list = mos_pages.tolist()
+        offset_list = offsets_col.tolist()
+        index_list = indices_col.tolist()
+        tag_list = tags_col.tolist()
+        writes_list = writes.tolist()
+        sizes_list = sizes.tolist()
+
+        hits = np.empty(count, dtype=bool)
+        misses: List[Tuple[int, int, DecomposedAddress, TagLookup]] = []
+        hit_count = 0
+        # The batch's NVDIMM call sequence, in exact scalar order.
+        sched_sizes: List[int] = []
+        sched_writes: List[bool] = []
+        size_append = sched_sizes.append
+        write_append = sched_writes.append
+        addresses_list = None  # materialised only when the batch has misses
+        for j in range(count):
+            index = index_list[j]
+            tag = tag_list[j]
+            is_write = writes_list[j]
+            entry = entries[index]
+            size_append(line_size)        # tag probe
+            write_append(False)
+            if entry.valid and entry.tag == tag:
+                hit_count += 1
+                hits[j] = True
+                if is_write:
+                    entry.dirty = True
+            else:
+                hits[j] = False
+                victim_tag = entry.tag if entry.valid else None
+                victim_dirty = entry.dirty if victim_tag is not None else False
+                lookup = TagLookup(index=index, tag=tag, hit=False,
+                                   busy=entry.busy, victim_tag=victim_tag,
+                                   victim_dirty=victim_dirty)
+                decomposed = DecomposedAddress(mos_page=mos_list[j], tag=tag,
+                                               index=index,
+                                               offset=offset_list[j])
+                if addresses_list is None:
+                    addresses_list = addresses.tolist()
+                misses.append((j, addresses_list[j], decomposed, lookup))
+                if victim_tag is not None and victim_dirty:
+                    size_append(mos_page_bytes)   # victim clone read
+                    write_append(False)
+                    size_append(mos_page_bytes)   # victim clone write
+                    write_append(True)
+                size_append(mos_page_bytes)       # critical-chunk landing
+                write_append(True)
+                # Install now so later lookups in this batch classify
+                # exactly; the dirty bit already folds in the scalar
+                # install + mark-dirty pair.
+                entry.tag = tag
+                entry.valid = True
+                entry.dirty = is_write
+                entry.busy = False
+            size_append(sizes_list[j])    # serve from the cache entry
+            write_append(is_write)
+        tag_array.lookups += count
+        tag_array.hits += hit_count
+        tag_array.misses += count - hit_count
+        nvdimm.access_batch(np.array(sched_sizes, dtype=np.int64),
+                            np.array(sched_writes, dtype=bool))
+        return HAMSBatchPlan(hits=hits, serve_ns=serve_ns, probe_ns=probe_ns,
+                             misses=misses)
+
+    def replay_miss(self, address: int, decomposed: DecomposedAddress,
+                    lookup: TagLookup, size_bytes: int, is_write: bool,
+                    at_ns: float) -> HAMSAccessResult:
+        """Clocked replay of one pre-classified miss (see :meth:`classify_batch`).
+
+        Runs the exact scalar miss sequence — probe time, background-eviction
+        parking, engine wait, clone, NVMe issue, landing, serve — without
+        re-charging the NVDIMM counters or re-touching the tag array (both
+        already folded by the classification walk).  The caller accumulates
+        the returned delay components in batch order.
+        """
+        result = HAMSAccessResult(address=address, is_write=is_write,
+                                  hit=False, start_ns=at_ns, finish_ns=at_ns)
+        probe_ns = (self.nvdimm.line_access_ns()
+                    + self.hams_config.tag_check_ns)
+        result.nvdimm_ns += probe_ns
+        now = at_ns + probe_ns
+
+        pending = self._background_evictions.get(decomposed.index, 0.0)
+        if pending > now:
+            self.hazards.park(decomposed.mos_page, is_write, now)
+            result.wait_ns += pending - now
+            now = pending
+            self._background_evictions.pop(decomposed.index, None)
+            self.hazards.drain_parked()
+
+        now = self._handle_miss(decomposed, lookup, is_write, now, result,
+                                charge_nvdimm=False, install_tag=False)
+
+        serve_ns = self._nvdimm_serve_ns(size_bytes)
+        result.nvdimm_ns += serve_ns
+        now += serve_ns
+        result.finish_ns = now
+        return result
+
     # -- miss handling -------------------------------------------------------------------
 
     #: Size of the critical chunk fetched first on a miss.  The MMU request
@@ -203,8 +365,14 @@ class HAMSController:
     CRITICAL_CHUNK_BYTES = 4096
 
     def _handle_miss(self, decomposed, lookup, is_write: bool, now: float,
-                     result: HAMSAccessResult) -> float:
+                     result: HAMSAccessResult, *, charge_nvdimm: bool = True,
+                     install_tag: bool = True) -> float:
         """Evict the victim (if dirty) and fill the requested page.
+
+        ``charge_nvdimm=False`` / ``install_tag=False`` are the batched
+        replay's knobs: :meth:`classify_batch` has already recorded the
+        NVDIMM traffic (in one order-exact schedule) and installed the tag
+        entry, so :meth:`replay_miss` re-runs only the clock-dependent part.
 
         In extend mode only the *critical chunk* (the 4 KB covering the
         requested address) sits on the access's critical path; the rest of
@@ -234,8 +402,9 @@ class HAMSController:
             # hazard while the DMA is in flight.  The copy runs at DRAM
             # bandwidth and overlaps with the critical fill coming from flash.
             clone_ns = 2 * self.nvdimm.page_access_ns(self.mos_page_bytes)
-            self.nvdimm.access(self.mos_page_bytes, is_write=False)
-            self.nvdimm.access(self.mos_page_bytes, is_write=True)
+            if charge_nvdimm:
+                self.nvdimm.access(self.mos_page_bytes, is_write=False)
+                self.nvdimm.access(self.mos_page_bytes, is_write=True)
             result.nvdimm_ns += clone_ns
             evict_command = self.engine.build_evict(
                 lba=self.address_manager.lba_of(victim_page),
@@ -322,12 +491,14 @@ class HAMSController:
         # The critical chunk lands in the NVDIMM cache entry; the remainder
         # streams in behind it off the critical path.
         landing_ns = self.nvdimm.page_access_ns(chunk)
-        self.nvdimm.access(self.mos_page_bytes, is_write=True)
+        if charge_nvdimm:
+            self.nvdimm.access(self.mos_page_bytes, is_write=True)
         result.nvdimm_ns += landing_ns
         now += landing_ns
 
         self.hazards.complete_miss(lookup.index)
-        self.tag_array.install(decomposed.mos_page, dirty=is_write)
+        if install_tag:
+            self.tag_array.install(decomposed.mos_page, dirty=is_write)
         result.evicted = evict_command is not None
         return now
 

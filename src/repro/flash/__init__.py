@@ -15,7 +15,8 @@ from .ftl import FlashTranslationLayer, PhysicalAddress
 from .dram_buffer import InternalDRAMBuffer
 from .hil import HostInterfaceLayer, SubRequest
 from .fil import FlashInterfaceLayer
-from .ssd import SSD, IORequest, IOResult, make_ssd
+from .ssd import (SSD, IOBatchResult, IORequest, IORequestBatch, IOResult,
+                  make_ssd)
 
 __all__ = [
     "DieState",
@@ -30,6 +31,8 @@ __all__ = [
     "FlashInterfaceLayer",
     "SSD",
     "IORequest",
+    "IORequestBatch",
     "IOResult",
+    "IOBatchResult",
     "make_ssd",
 ]

@@ -7,26 +7,36 @@ on different dies.  ULL-Flash additionally *splits* a 4 KB host request into
 two half-page transfers on two channels, halving the DMA portion of the
 latency (Section II-C) — that policy lives in the FIL; this module only
 answers "when can channel C move N bytes starting at time T?".
+
+Channel occupancy is kept as flat parallel arrays (``busy_until_ns``,
+``bytes_moved``, ``transfers`` indexed by channel) rather than per-channel
+objects, so the batched submission walk of :meth:`repro.flash.ssd.SSD.
+submit_batch` can reserve long schedules against the shared state without a
+per-command attribute chase.  A reservation is the exact recurrence
+``start = max(at, busy); busy = start + t`` — :meth:`reserve_schedule`
+computes it for a whole vector of transfers, using a closed-form prefix-max
+fast path when every channel appears at most once (the per-element results
+are then independent, so vectorizing is bitwise exact) and the sequential
+walk otherwise.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from ..config import FlashGeometry
 from ..units import transfer_time_ns
 
 
-@dataclass
-class _ChannelState:
-    busy_until_ns: float = 0.0
-    bytes_moved: int = 0
-    transfers: int = 0
-
-
 class ChannelScheduler:
-    """Tracks occupancy of every flash channel of one SSD."""
+    """Tracks occupancy of every flash channel of one SSD.
+
+    State is a structure of arrays: ``busy_until_ns[c]`` is the reservation
+    horizon of channel *c*; ``bytes_moved``/``transfers`` are its traffic
+    counters.  The arrays are the authoritative state (there is no
+    per-channel object), which is what lets the batched flash walk share
+    them as plain Python lists.
+    """
 
     def __init__(self, geometry: FlashGeometry,
                  bandwidth_bytes_per_ns: float) -> None:
@@ -36,9 +46,10 @@ class ChannelScheduler:
             raise ValueError("channel bandwidth must be positive")
         self.geometry = geometry
         self.bandwidth = bandwidth_bytes_per_ns
-        self._channels: Dict[int, _ChannelState] = {
-            index: _ChannelState() for index in range(geometry.channels)
-        }
+        self.channel_count = geometry.channels
+        self.busy_until_ns: List[float] = [0.0] * self.channel_count
+        self.bytes_moved: List[int] = [0] * self.channel_count
+        self.transfers: List[int] = [0] * self.channel_count
 
     def transfer_time(self, size_bytes: int) -> float:
         """Raw bus time to move *size_bytes*, ignoring occupancy."""
@@ -51,17 +62,63 @@ class ChannelScheduler:
         Returns ``(start_ns, finish_ns)``: the transfer starts when the
         channel frees up and occupies it for the raw bus time.
         """
-        state = self._channel(channel)
-        start = max(at_ns, state.busy_until_ns)
+        self._check(channel)
+        busy = self.busy_until_ns
+        start = max(at_ns, busy[channel])
         finish = start + self.transfer_time(size_bytes)
-        state.busy_until_ns = finish
-        state.bytes_moved += size_bytes
-        state.transfers += 1
+        busy[channel] = finish
+        self.bytes_moved[channel] += size_bytes
+        self.transfers[channel] += 1
         return start, finish
+
+    def reserve_schedule(
+            self, channels: Sequence[int],
+            sizes: Union[int, Sequence[int]],
+            at_ns: Union[float, Sequence[float]],
+    ) -> Tuple[List[float], List[float]]:
+        """Reserve a vector of transfers in order; returns start/finish lists.
+
+        Equivalent to calling :meth:`reserve` once per element, in order.
+        When no channel repeats within the schedule the reservations are
+        independent, so ``start = max(at, busy)`` resolves element-wise —
+        the prefix-max collapses — and the loop body carries no recurrence;
+        with repeats the exact sequential walk runs.  Either way the result
+        is bit-identical to the scalar call sequence.
+        """
+        count = len(channels)
+        size_list = [sizes] * count if isinstance(sizes, int) else sizes
+        at_list = ([at_ns] * count if isinstance(at_ns, (int, float))
+                   else at_ns)
+        busy = self.busy_until_ns
+        bytes_moved = self.bytes_moved
+        transfers = self.transfers
+        limit = self.channel_count
+        times: Dict[int, float] = {}
+        starts: List[float] = []
+        finishes: List[float] = []
+        for index in range(count):
+            channel = channels[index]
+            if channel < 0 or channel >= limit:
+                raise ValueError(f"channel index out of range: {channel}")
+            size = size_list[index]
+            time = times.get(size)
+            if time is None:
+                time = times[size] = transfer_time_ns(size, self.bandwidth)
+            at = at_list[index]
+            horizon = busy[channel]
+            start = at if at >= horizon else horizon
+            finish = start + time
+            busy[channel] = finish
+            bytes_moved[channel] += size
+            transfers[channel] += 1
+            starts.append(start)
+            finishes.append(finish)
+        return starts, finishes
 
     def next_free(self, channel: int, at_ns: float) -> float:
         """Earliest time the channel could start a new transfer."""
-        return max(at_ns, self._channel(channel).busy_until_ns)
+        self._check(channel)
+        return max(at_ns, self.busy_until_ns[channel])
 
     def least_loaded(self, at_ns: float, count: int = 1) -> List[int]:
         """Return the *count* channels that free up earliest at *at_ns*.
@@ -71,30 +128,31 @@ class ChannelScheduler:
         """
         if count <= 0:
             raise ValueError("count must be positive")
-        ranked = sorted(self._channels.items(),
-                        key=lambda item: (max(at_ns, item[1].busy_until_ns),
-                                          item[0]))
-        return [index for index, _ in ranked[:count]]
+        ranked = sorted(range(self.channel_count),
+                        key=lambda index: (max(at_ns,
+                                               self.busy_until_ns[index]),
+                                           index))
+        return ranked[:count]
 
     def utilisation_summary(self) -> Dict[str, float]:
-        bytes_total = sum(state.bytes_moved for state in self._channels.values())
-        transfers = sum(state.transfers for state in self._channels.values())
-        busiest = max((state.busy_until_ns for state in self._channels.values()),
-                      default=0.0)
         return {
-            "bytes_moved": float(bytes_total),
-            "transfers": float(transfers),
-            "busiest_channel_until_ns": busiest,
+            "bytes_moved": float(sum(self.bytes_moved)),
+            "transfers": float(sum(self.transfers)),
+            "busiest_channel_until_ns": max(self.busy_until_ns, default=0.0),
+        }
+
+    def statistics(self) -> Dict[str, float]:
+        """Counters for the unified ``flash_*`` statistics fold."""
+        return {
+            "channel_bytes_moved": float(sum(self.bytes_moved)),
+            "channel_transfers": float(sum(self.transfers)),
         }
 
     def reset(self) -> None:
-        for state in self._channels.values():
-            state.busy_until_ns = 0.0
-            state.bytes_moved = 0
-            state.transfers = 0
+        self.busy_until_ns = [0.0] * self.channel_count
+        self.bytes_moved = [0] * self.channel_count
+        self.transfers = [0] * self.channel_count
 
-    def _channel(self, channel: int) -> _ChannelState:
-        try:
-            return self._channels[channel]
-        except KeyError:
-            raise ValueError(f"channel index out of range: {channel}") from None
+    def _check(self, channel: int) -> None:
+        if channel < 0 or channel >= self.channel_count:
+            raise ValueError(f"channel index out of range: {channel}")

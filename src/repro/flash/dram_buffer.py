@@ -105,6 +105,83 @@ class InternalDRAMBuffer:
         evicted = self._insert(lpn, dirty=True)
         return False, evicted
 
+    def read_fill_batch(self, lpns: List[int],
+                        mapped: List[bool]) -> List[bool]:
+        """Classify a read vector and install the miss fills, in order.
+
+        The batched-submission fold of the scalar per-page sequence
+        ``read(lpn)`` then — on a miss whose LPN is mapped — ``fill(lpn)``.
+        Returns the per-page hit flags.  Buffer state and counters end up
+        exactly as the scalar calls would leave them (duplicate LPNs inside
+        the vector hit the fill installed by the earlier element, matching
+        the scalar walk).  Fill evictions are clean-or-dirty *counted* but
+        not returned: the read path never programs them, exactly like
+        :meth:`repro.flash.ssd.SSD` ignoring :meth:`fill`'s return value.
+        """
+        count = len(lpns)
+        stats = self.stats
+        if not self.enabled:
+            stats.read_misses += count
+            return [False] * count
+        pages = self._pages
+        move_to_end = pages.move_to_end
+        insert = self._insert
+        hits = []
+        append = hits.append
+        read_hits = 0
+        read_misses = 0
+        for index in range(count):
+            lpn = lpns[index]
+            if lpn in pages:
+                move_to_end(lpn)
+                read_hits += 1
+                append(True)
+            else:
+                read_misses += 1
+                append(False)
+                if mapped[index]:
+                    insert(lpn, dirty=False)
+        stats.read_hits += read_hits
+        stats.read_misses += read_misses
+        return hits
+
+    def write_batch(
+            self, lpns: List[int],
+    ) -> Tuple[List[bool], List[Optional[Tuple[int, bool]]]]:
+        """Classify a write vector; the batched hit/dirty-evict fold.
+
+        Equivalent to calling :meth:`write` once per LPN in order: returns
+        the per-page hit flags and the per-page eviction (``(lpn, dirty)``
+        or ``None``).  Dirty victims must then be programmed by the caller
+        in the same order, exactly as the scalar walk does.
+        """
+        count = len(lpns)
+        stats = self.stats
+        if not self.enabled:
+            stats.write_misses += count
+            return [False] * count, [None] * count
+        pages = self._pages
+        move_to_end = pages.move_to_end
+        insert = self._insert
+        hits: List[bool] = []
+        evictions: List[Optional[Tuple[int, bool]]] = []
+        write_hits = 0
+        write_misses = 0
+        for lpn in lpns:
+            if lpn in pages:
+                move_to_end(lpn)
+                pages[lpn] = True
+                write_hits += 1
+                hits.append(True)
+                evictions.append(None)
+            else:
+                write_misses += 1
+                hits.append(False)
+                evictions.append(insert(lpn, dirty=True))
+        stats.write_hits += write_hits
+        stats.write_misses += write_misses
+        return hits, evictions
+
     def fill(self, lpn: int) -> Optional[Tuple[int, bool]]:
         """Install a clean copy of *lpn* after a flash read (read miss fill)."""
         if not self.enabled:

@@ -63,6 +63,57 @@ class FlashInterfaceLayer:
                                  array_time_ns=array_finish - start,
                                  transfer_time_ns=transfer_time)
 
+    def read_pages(self, addresses: List[PhysicalAddress],
+                   at_ns: float) -> List[float]:
+        """Read a vector of pages all issued at *at_ns*; returns finish times.
+
+        Bit-identical to calling :meth:`read_page` per address in order, but
+        serviced as two reservation schedules instead of per-command walks:
+        every array sensing is issued first (die occupancy is independent of
+        channel state, so hoisting the issues out of the interleaved scalar
+        order is exact), then the channel DMA schedule runs in page order at
+        each page's array-finish time.  This is the migration-chunk path —
+        a 16-page chunk read becomes two schedule calls.
+        """
+        count = len(addresses)
+        if not count:
+            return []
+        self.page_reads += count
+        array = self.array
+        flat_index = array.flat_index
+        indices = [flat_index(address.channel, address.package, address.die)
+                   for address in addresses]
+        _, array_finishes = array.issue_schedule(indices, FlashOperation.READ,
+                                                 at_ns)
+        channels = self.channels
+        if not self.split_channels:
+            _, finishes = channels.reserve_schedule(
+                [address.channel for address in addresses], self.page_size,
+                array_finishes)
+            return finishes
+        half = self.page_size // 2
+        rest = self.page_size - half
+        channel_count = channels.channel_count
+        sched_channels: List[int] = []
+        sched_sizes: List[int] = []
+        sched_at: List[float] = []
+        for index in range(count):
+            channel = addresses[index].channel
+            partner = (channel + 1) % channel_count
+            finish = array_finishes[index]
+            sched_channels.append(channel)
+            sched_sizes.append(half)
+            sched_at.append(finish)
+            sched_channels.append(partner)
+            sched_sizes.append(rest)
+            sched_at.append(finish)
+        _, pair_finishes = channels.reserve_schedule(sched_channels,
+                                                     sched_sizes, sched_at)
+        return [pair_finishes[2 * index]
+                if pair_finishes[2 * index] >= pair_finishes[2 * index + 1]
+                else pair_finishes[2 * index + 1]
+                for index in range(count)]
+
     # -- page programs -------------------------------------------------------------
 
     def write_page(self, address: PhysicalAddress, at_ns: float) -> FlashAccessResult:

@@ -59,7 +59,7 @@ class _Plane:
 
     __slots__ = ("channel", "package", "die", "plane", "blocks_per_plane",
                  "pages_per_block", "free_blocks", "open_block", "next_page",
-                 "valid_pages", "erase_count")
+                 "valid_pages", "erase_count", "gc_pressed")
 
     def __init__(self, channel: int, package: int, die: int, plane: int,
                  blocks_per_plane: int, pages_per_block: int) -> None:
@@ -75,6 +75,8 @@ class _Plane:
         # block index -> set of page indices currently holding valid data
         self.valid_pages: Dict[int, Set[int]] = {}
         self.erase_count = 0
+        #: Maintained by the FTL: ``len(free_blocks) < gc_threshold_blocks``.
+        self.gc_pressed = False
 
     def has_space(self) -> bool:
         return bool(self.free_blocks) or (
@@ -147,6 +149,14 @@ class FlashTranslationLayer:
         self.gc_invocations = 0
         self.gc_pages_moved = 0
         self.host_writes = 0
+        #: Number of planes currently under GC pressure (fewer free blocks
+        #: than the threshold).  When it is zero the per-write GC scan is
+        #: provably a no-op — every plane's ``while`` loop would fall
+        #: through — so :meth:`_maybe_collect` returns immediately with the
+        #: same empty :class:`GCResult` the scan would have produced.
+        self._gc_pressure_planes = 0
+        for plane in self._planes:
+            self._note_free_blocks(plane)
 
     # -- lookup ---------------------------------------------------------------
 
@@ -154,6 +164,22 @@ class FlashTranslationLayer:
         """Translate a logical page number; ``None`` if never written."""
         self._check_lpn(lpn)
         return self._mapping.get(lpn)
+
+    def lookup_batch(self, lpns) -> List[Optional[PhysicalAddress]]:
+        """Translate a vector of LPNs (any int sequence, e.g. int64 arrays).
+
+        Pure: no state changes, so the batch is trivially order-exact.
+        Range validation happens once over the whole vector.
+        """
+        lpn_list = [int(lpn) for lpn in lpns]
+        if lpn_list:
+            low, high = min(lpn_list), max(lpn_list)
+            if low < 0 or high >= self._logical_pages:
+                bad = low if low < 0 else high
+                raise ValueError(
+                    f"LPN {bad} out of range [0, {self._logical_pages})")
+        get = self._mapping.get
+        return [get(lpn) for lpn in lpn_list]
 
     def is_mapped(self, lpn: int) -> bool:
         return lpn in self._mapping
@@ -183,6 +209,18 @@ class FlashTranslationLayer:
         self._reverse[address] = lpn
         return address, gc_result
 
+    def write_batch(self, lpns) -> List[Tuple[PhysicalAddress, GCResult]]:
+        """Map a vector of LPNs in order (int sequence or int64 array).
+
+        Exactly equivalent to calling :meth:`write` per element: allocation
+        striping advances in order, and garbage collection triggers at the
+        same scalar points — each element's GC scan sees the mapping state
+        left by every earlier element.  ``tests/test_flash_ftl_batch.py``
+        pins the equivalence property-style.
+        """
+        write = self.write
+        return [write(int(lpn)) for lpn in lpns]
+
     def trim(self, lpn: int) -> None:
         """Drop the mapping for *lpn* (discard / TRIM)."""
         self._check_lpn(lpn)
@@ -197,6 +235,11 @@ class FlashTranslationLayer:
 
     def _maybe_collect(self) -> GCResult:
         result = GCResult()
+        if not self._gc_pressure_planes:
+            # No plane is below the free-block threshold, so the full scan
+            # would do no work; skip it (the dominant cost of buffered
+            # writes on a preconditioned device).
+            return result
         for plane in self._planes:
             while len(plane.free_blocks) < self.gc_threshold_blocks:
                 victim = plane.victim_block()
@@ -231,6 +274,7 @@ class FlashTranslationLayer:
             result.page_moves.append((old, new))
             moved_any = True
         plane.erase_block(block)
+        self._note_free_blocks(plane)
         result.blocks_erased += 1
         return moved_any or not valid
 
@@ -245,6 +289,7 @@ class FlashTranslationLayer:
                 continue
             address = plane.allocate_page()
             if address is not None:
+                self._note_free_blocks(plane)
                 self._allocation_cursor = (
                     self._allocation_cursor + offset + 1) % total
                 return address
@@ -252,8 +297,16 @@ class FlashTranslationLayer:
         if exclude_plane is not None:
             address = exclude_plane.allocate_page()
             if address is not None:
+                self._note_free_blocks(exclude_plane)
                 return address
         raise RuntimeError("flash device is full: no free pages in any plane")
+
+    def _note_free_blocks(self, plane: _Plane) -> None:
+        """Re-derive *plane*'s GC-pressure flag after a free-list change."""
+        pressed = len(plane.free_blocks) < self.gc_threshold_blocks
+        if pressed != plane.gc_pressed:
+            plane.gc_pressed = pressed
+            self._gc_pressure_planes += 1 if pressed else -1
 
     # -- helpers ---------------------------------------------------------------
 

@@ -8,6 +8,16 @@ lower layers of this package:
 ``HostInterfaceLayer`` -> ``InternalDRAMBuffer`` -> ``FlashTranslationLayer``
 -> ``FlashInterfaceLayer`` -> ``ZNANDArray`` / ``ChannelScheduler``.
 
+Submission is batch-first: :meth:`SSD.submit_batch` services an
+:class:`IORequestBatch` with one amortised walk over the flash stack —
+array-based FTL translation (:meth:`~repro.flash.ftl.FlashTranslationLayer.
+lookup_batch`), the DRAM-buffer hit/dirty-evict folds, and channel/die
+occupancy reserved against the schedulers' flat occupancy arrays.  The
+scalar :meth:`SSD.submit` is a batch-of-one wrapper around it, so there is
+exactly one service path; ``tests/test_flash_batch.py`` pins the
+equivalence and the platform golden-parity suite
+(``tests/test_batched_replay.py``) gates every consumer.
+
 Three factory presets mirror the devices used in the paper's evaluation:
 ULL-Flash (Z-NAND), a conventional NVMe SSD and a SATA SSD.
 """
@@ -15,8 +25,8 @@ ULL-Flash (Z-NAND), a conventional NVMe SSD and a SATA SSD.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import SSDConfig
 from ..sim.stats import StatRegistry
@@ -67,6 +77,178 @@ class IOResult:
     @property
     def device_time_ns(self) -> float:
         return self.finish_ns - self.start_ns
+
+
+def _column(values, count: Optional[int] = None) -> list:
+    """Normalise a per-request column to a plain Python list.
+
+    Accepts numpy arrays (converted once via ``tolist``), sequences, or a
+    scalar to broadcast over *count* requests.
+    """
+    tolist = getattr(values, "tolist", None)
+    if tolist is not None:
+        values = tolist()
+    if isinstance(values, (bool, int, float)):
+        if count is None:
+            raise ValueError("cannot broadcast a scalar column without a "
+                             "request count")
+        return [values] * count
+    return list(values)
+
+
+class IORequestBatch:
+    """A columnar vector of I/O requests serviced in one submission call.
+
+    Columns (``is_write`` / ``byte_offset`` / ``size_bytes`` / ``fua``)
+    accept numpy arrays, sequences, or scalars to broadcast.  Two submission
+    modes exist:
+
+    * **Open-loop** (default): ``submit_ns`` gives every request's
+      submission clock up front (must be non-decreasing, as for scalar
+      :meth:`SSD.submit`).  This is the migration-writeback shape: the
+      caller knows each request's issue time before any of them completes.
+    * **Chained** (``chained=True``): the submitter is a synchronous agent
+      (a load/store miss path) whose next submission clock depends on the
+      previous completion.  The clock starts at ``start_ns``; before
+      request *j* it advances by ``pre_gap_ns[j]`` (e.g. a compute phase),
+      the request submits, and afterwards the clock advances by
+      ``post_gap_ns[j] + service_latency_ns[j]`` — where the service
+      latency is ``(finish - submit)`` plus, when ``link`` is given, one
+      ``link_bytes`` transfer over the link issued at the finish time
+      (the exact :meth:`repro.interconnect.link.Link.transfer` recurrence,
+      inlined).  This runs the whole closed-loop recurrence inside one
+      batch call while remaining bit-identical to the scalar loop.
+
+    ``record_details=False`` skips the per-request counter columns of the
+    result (start/finish/latency are always recorded) for hot paths that
+    only consume latencies.
+    """
+
+    __slots__ = ("is_write", "byte_offset", "size_bytes", "submit_ns", "fua",
+                 "chained", "start_ns", "pre_gap_ns", "post_gap_ns", "link",
+                 "link_bytes", "record_details")
+
+    def __init__(self, is_write, byte_offset, size_bytes,
+                 submit_ns=None, fua=None, *, chained: bool = False,
+                 start_ns: float = 0.0, pre_gap_ns=None, post_gap_ns=None,
+                 link=None, link_bytes: int = 0,
+                 record_details: bool = True) -> None:
+        self.byte_offset = _column(byte_offset)
+        count = len(self.byte_offset)
+        self.size_bytes = _column(size_bytes, count)
+        self.is_write = _column(is_write, count)
+        self.fua = _column(False if fua is None else fua, count)
+        self.chained = bool(chained)
+        self.record_details = bool(record_details)
+        if not (len(self.size_bytes) == len(self.is_write)
+                == len(self.fua) == count):
+            raise ValueError("batch columns must be equal-length")
+        if count and min(self.byte_offset) < 0:
+            raise ValueError("byte_offset must be non-negative")
+        if count and min(self.size_bytes) <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.chained:
+            self.submit_ns = None
+            self.start_ns = float(start_ns)
+            if self.start_ns < 0:
+                raise ValueError("start_ns must be non-negative")
+            self.pre_gap_ns = (None if pre_gap_ns is None
+                               else _column(pre_gap_ns, count))
+            self.post_gap_ns = (None if post_gap_ns is None
+                                else _column(post_gap_ns, count))
+            for gaps in (self.pre_gap_ns, self.post_gap_ns):
+                if gaps is not None:
+                    if len(gaps) != count:
+                        raise ValueError("gap columns must be equal-length")
+                    if count and min(gaps) < 0:
+                        raise ValueError("gaps must be non-negative")
+            self.link = link
+            self.link_bytes = int(link_bytes)
+            if self.link is not None and self.link_bytes <= 0:
+                raise ValueError("link transfers need a positive link_bytes")
+        else:
+            if submit_ns is None:
+                raise ValueError("open-loop batches need a submit_ns column")
+            self.submit_ns = _column(submit_ns, count)
+            if len(self.submit_ns) != count:
+                raise ValueError("batch columns must be equal-length")
+            if count and min(self.submit_ns) < 0:
+                raise ValueError("submit_ns must be non-negative")
+            self.start_ns = 0.0
+            self.pre_gap_ns = None
+            self.post_gap_ns = None
+            self.link = None
+            self.link_bytes = 0
+
+    @classmethod
+    def of_request(cls, request: IORequest) -> "IORequestBatch":
+        """Batch-of-one view of an already-validated :class:`IORequest`."""
+        batch = cls.__new__(cls)
+        batch.is_write = [request.is_write]
+        batch.byte_offset = [request.byte_offset]
+        batch.size_bytes = [request.size_bytes]
+        batch.submit_ns = [request.submit_ns]
+        batch.fua = [request.fua]
+        batch.chained = False
+        batch.start_ns = 0.0
+        batch.pre_gap_ns = None
+        batch.post_gap_ns = None
+        batch.link = None
+        batch.link_bytes = 0
+        batch.record_details = True
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.byte_offset)
+
+    def request(self, index: int) -> IORequest:
+        """Scalar view of one batch row (open-loop batches only)."""
+        if self.submit_ns is None:
+            raise ValueError("chained batches have no per-request submit_ns")
+        return IORequest(is_write=bool(self.is_write[index]),
+                         byte_offset=int(self.byte_offset[index]),
+                         size_bytes=int(self.size_bytes[index]),
+                         submit_ns=float(self.submit_ns[index]),
+                         fua=bool(self.fua[index]))
+
+
+@dataclass
+class IOBatchResult:
+    """Columnar completion record of one :class:`IORequestBatch`.
+
+    ``start_ns`` / ``finish_ns`` / ``latency_ns`` are always present; the
+    per-request counter columns are ``None`` when the batch was built with
+    ``record_details=False``.  For chained batches, ``service_latency_ns``
+    holds the closed-loop service latency (device + link) per request and
+    ``end_ns`` the clock after the last post-gap.
+    """
+
+    start_ns: List[float]
+    finish_ns: List[float]
+    latency_ns: List[float]
+    buffer_hits: Optional[List[int]] = None
+    buffer_misses: Optional[List[int]] = None
+    flash_reads: Optional[List[int]] = None
+    flash_programs: Optional[List[int]] = None
+    gc_pages_moved: Optional[List[int]] = None
+    service_latency_ns: Optional[List[float]] = None
+    end_ns: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.finish_ns)
+
+    def result(self, index: int, request: IORequest) -> IOResult:
+        """Materialise the scalar :class:`IOResult` view of one row."""
+        detail = self.buffer_hits is not None
+        return IOResult(
+            request=request,
+            start_ns=self.start_ns[index],
+            finish_ns=self.finish_ns[index],
+            buffer_hits=self.buffer_hits[index] if detail else 0,
+            buffer_misses=self.buffer_misses[index] if detail else 0,
+            flash_reads=self.flash_reads[index] if detail else 0,
+            flash_programs=self.flash_programs[index] if detail else 0,
+            gc_pages_moved=self.gc_pages_moved[index] if detail else 0)
 
 
 class SSD:
@@ -137,36 +319,13 @@ class SSD:
     # -- request servicing -------------------------------------------------------------
 
     def submit(self, request: IORequest) -> IOResult:
-        """Service one request and return its completion record.
+        """Service one request: the batch-of-one wrapper over the batch path.
 
         Requests must be submitted in non-decreasing ``submit_ns`` order (the
         callers — NVMe controller, OS stack, HAMS engine — all do this).
         """
-        start = self._admission_time(request.submit_ns)
-        subrequests = self.hil.split(request.byte_offset, request.size_bytes,
-                                     request.is_write)
-        firmware_done = start + self.hil.parse_latency(len(subrequests))
-        result = IOResult(request=request, start_ns=start, finish_ns=firmware_done)
-
-        finish = firmware_done
-        for sub in subrequests:
-            if sub.is_write:
-                sub_finish = self._service_write(sub.lpn, firmware_done,
-                                                 request.fua, result)
-            else:
-                sub_finish = self._service_read(sub.lpn, firmware_done, result)
-            finish = max(finish, sub_finish)
-
-        result.finish_ns = finish
-        self._complete(finish)
-        self.requests_served += 1
-        if request.is_write:
-            self.bytes_written += request.size_bytes
-        else:
-            self.bytes_read += request.size_bytes
-        self.stats.latency("request_latency").record(result.latency_ns)
-        self.stats.counter("requests").add()
-        return result
+        batch_result = self.submit_batch(IORequestBatch.of_request(request))
+        return batch_result.result(0, request)
 
     def read(self, byte_offset: int, size_bytes: int, at_ns: float) -> IOResult:
         """Convenience wrapper for a read request."""
@@ -179,6 +338,474 @@ class SSD:
         return self.submit(IORequest(is_write=True, byte_offset=byte_offset,
                                      size_bytes=size_bytes, submit_ns=at_ns,
                                      fua=fua))
+
+    def submit_batch(self, batch: IORequestBatch) -> IOBatchResult:
+        """Service a whole request vector with one walk over the flash stack.
+
+        Bit-identical to submitting each request through the historical
+        scalar path in order: the DRAM-buffer folds, the batched FTL
+        translation and the flat channel/die reservation schedules replay
+        exactly the scalar call sequence per layer (per-resource state is
+        only ever advanced in request order), and garbage collection
+        triggers at the same scalar points.  Requests must be ordered by
+        non-decreasing submission clock, like :meth:`submit` callers.
+        """
+        count = len(batch)
+        config = self.config
+        # -- hoisted layer state (shared mutable structures, loop locals) --
+        page_size = self.page_size
+        logical_pages = self._logical_pages
+        buffer = self.buffer
+        buffer_enabled = buffer.enabled
+        # The buffer/FTL per-page operations are inlined below against these
+        # shared structures (the batch walk IS the one service path, so the
+        # inlining is the method bodies of InternalDRAMBuffer.read/write/
+        # fill and FlashTranslationLayer.lookup, loop-hoisted).
+        buffer_pages = buffer._pages
+        buffer_move = buffer_pages.move_to_end
+        buffer_insert = buffer._insert
+        ftl = self.ftl
+        mapping_get = ftl._mapping.get
+        ftl_write = ftl.write
+        fil = self.fil
+        hil = self.hil
+        outstanding = self._outstanding
+        max_outstanding = config.max_outstanding
+        hit_ns = config.dram_buffer_hit_ns
+        firmware_ns = hil.firmware_latency_ns
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        # Flat die/channel occupancy shared with the layer objects.
+        array = self.array
+        die_states = array._states
+        geometry = config.geometry
+        packages_per_channel = geometry.packages_per_channel
+        dies_per_package = geometry.dies_per_package
+        read_ns = array.timing.read_ns
+        program_ns = array.timing.program_ns
+        channels = self.channels
+        chan_busy = channels.busy_until_ns
+        chan_bytes = channels.bytes_moved
+        chan_transfers = channels.transfers
+        channel_count = channels.channel_count
+        split = fil.split_channels
+        if split:
+            half = page_size // 2
+            rest = page_size - half
+            t_half = channels.transfer_time(half)
+            t_rest = channels.transfer_time(rest)
+        else:
+            t_full = channels.transfer_time(page_size)
+        # -- lifted per-request statistics (written back in ``finally``) --
+        stat = self.stats.latency("request_latency")
+        s_count = stat.count
+        s_total = stat.total
+        s_min = stat.min
+        s_max = stat.max
+        s_mean = stat._mean
+        s_m2 = stat._m2
+        page_reads_local = 0
+        page_programs_local = 0
+        buffer_stats = buffer.stats
+        buf_read_hits = 0
+        buf_read_misses = 0
+        buf_write_hits = 0
+        buf_write_misses = 0
+        parsed_local = 0
+        subs_local = 0
+        served_local = 0
+        bytes_read_local = 0
+        bytes_written_local = 0
+        # -- batch columns -------------------------------------------------
+        write_col = batch.is_write
+        offset_col = batch.byte_offset
+        size_col = batch.size_bytes
+        fua_col = batch.fua
+        chained = batch.chained
+        detail = batch.record_details
+        if chained:
+            now = batch.start_ns
+            pre_gaps = batch.pre_gap_ns
+            post_gaps = batch.post_gap_ns
+            link = batch.link
+            service_latencies: List[float] = []
+            if link is not None:
+                link_bytes = batch.link_bytes
+                link_busy = link.busy_until_ns
+                link_overhead = link.per_transfer_overhead(link_bytes)
+                link_raw = link.raw_transfer_time(link_bytes)
+                link_count = 0
+        else:
+            submit_col = batch.submit_ns
+        starts: List[float] = []
+        finishes: List[float] = []
+        latencies: List[float] = []
+        if detail:
+            col_bh: List[int] = []
+            col_bm: List[int] = []
+            col_fr: List[int] = []
+            col_fp: List[int] = []
+            col_gc: List[int] = []
+
+        try:
+            for j in range(count):
+                if chained:
+                    if pre_gaps is not None:
+                        now += pre_gaps[j]
+                    submit = now
+                else:
+                    submit = submit_col[j]
+                # Admission: drain completions, then gate on the queue bound.
+                while outstanding and outstanding[0] <= submit:
+                    heappop(outstanding)
+                if len(outstanding) < max_outstanding:
+                    start = submit
+                else:
+                    earliest = heappop(outstanding)
+                    start = submit if submit >= earliest else earliest
+                # HIL parse/split.  The single-whole-page fast path covers
+                # every hot caller; the general splitter mirrors
+                # HostInterfaceLayer.split's page walk.
+                offset = offset_col[j]
+                size = size_col[j]
+                is_write = write_col[j]
+                parsed_local += 1
+                in_page = offset % page_size
+                if size <= page_size - in_page:
+                    n_sub = 1
+                    lpns = None
+                else:
+                    lpns = []
+                    cursor = offset
+                    remaining = size
+                    while remaining > 0:
+                        lpns.append(cursor // page_size)
+                        chunk = page_size - cursor % page_size
+                        if chunk > remaining:
+                            chunk = remaining
+                        cursor += chunk
+                        remaining -= chunk
+                    n_sub = len(lpns)
+                subs_local += n_sub
+                if n_sub == 1:
+                    # firmware_ns * (1.0 + 0.05 * 0) == firmware_ns exactly.
+                    firmware_done = start + firmware_ns
+                else:
+                    firmware_done = start + firmware_ns * (1.0
+                                                          + 0.05 * (n_sub - 1))
+                finish = firmware_done
+                r_bh = 0
+                r_bm = 0
+                r_fr = 0
+                r_fp = 0
+                r_gc = 0
+
+                if n_sub == 1 and not is_write:
+                    # -- single-page read (the dominant shape) ------------
+                    lpn = (offset // page_size) % logical_pages
+                    if buffer_enabled and lpn in buffer_pages:
+                        buffer_move(lpn)
+                        buf_read_hits += 1
+                        r_bh = 1
+                        sub_finish = firmware_done + hit_ns
+                    else:
+                        buf_read_misses += 1
+                        r_bm = 1
+                        address = mapping_get(lpn)
+                        if address is None:
+                            # Never-written page: zeroes from the controller.
+                            sub_finish = firmware_done + hit_ns
+                        else:
+                            # Inlined FlashInterfaceLayer.read_page against
+                            # the flat occupancy arrays: array sensing, then
+                            # the (optionally split) channel DMA.
+                            state = die_states[
+                                (address.channel * packages_per_channel
+                                 + address.package) * dies_per_package
+                                + address.die]
+                            busy = state.busy_until_ns
+                            array_start = (firmware_done
+                                           if firmware_done >= busy else busy)
+                            array_finish = array_start + read_ns
+                            state.busy_until_ns = array_finish
+                            state.reads += 1
+                            channel = address.channel
+                            if split:
+                                partner = channel + 1
+                                if partner == channel_count:
+                                    partner = 0
+                                busy = chan_busy[channel]
+                                t_start = (array_finish
+                                           if array_finish >= busy else busy)
+                                finish_a = t_start + t_half
+                                chan_busy[channel] = finish_a
+                                chan_bytes[channel] += half
+                                chan_transfers[channel] += 1
+                                busy = chan_busy[partner]
+                                t_start = (array_finish
+                                           if array_finish >= busy else busy)
+                                finish_b = t_start + t_rest
+                                chan_busy[partner] = finish_b
+                                chan_bytes[partner] += rest
+                                chan_transfers[partner] += 1
+                                sub_finish = (finish_a if finish_a >= finish_b
+                                              else finish_b)
+                            else:
+                                busy = chan_busy[channel]
+                                t_start = (array_finish
+                                           if array_finish >= busy else busy)
+                                sub_finish = t_start + t_full
+                                chan_busy[channel] = sub_finish
+                                chan_bytes[channel] += page_size
+                                chan_transfers[channel] += 1
+                            page_reads_local += 1
+                            r_fr = 1
+                            # Read-miss fill (the page is known absent, so
+                            # this is InternalDRAMBuffer.fill's insert arm).
+                            if buffer_enabled:
+                                buffer_insert(lpn, False)
+                    if sub_finish > finish:
+                        finish = sub_finish
+                elif not is_write:
+                    # -- multi-page read (the migration-chunk shape) ------
+                    # One fused pass in piece order: buffer classification,
+                    # translation and the die/channel reservations are the
+                    # same per-page sequence as above, so a 16-page chunk
+                    # read is one tight loop instead of 16 scalar walks.
+                    zero_finish = firmware_done + hit_ns
+                    for raw_lpn in lpns:
+                        lpn = raw_lpn % logical_pages
+                        if buffer_enabled and lpn in buffer_pages:
+                            buffer_move(lpn)
+                            buf_read_hits += 1
+                            r_bh += 1
+                            sub_finish = zero_finish
+                        else:
+                            buf_read_misses += 1
+                            r_bm += 1
+                            address = mapping_get(lpn)
+                            if address is None:
+                                sub_finish = zero_finish
+                            else:
+                                state = die_states[
+                                    (address.channel * packages_per_channel
+                                     + address.package) * dies_per_package
+                                    + address.die]
+                                busy = state.busy_until_ns
+                                array_start = (firmware_done
+                                               if firmware_done >= busy
+                                               else busy)
+                                array_finish = array_start + read_ns
+                                state.busy_until_ns = array_finish
+                                state.reads += 1
+                                channel = address.channel
+                                if split:
+                                    partner = channel + 1
+                                    if partner == channel_count:
+                                        partner = 0
+                                    busy = chan_busy[channel]
+                                    t_start = (array_finish
+                                               if array_finish >= busy
+                                               else busy)
+                                    finish_a = t_start + t_half
+                                    chan_busy[channel] = finish_a
+                                    chan_bytes[channel] += half
+                                    chan_transfers[channel] += 1
+                                    busy = chan_busy[partner]
+                                    t_start = (array_finish
+                                               if array_finish >= busy
+                                               else busy)
+                                    finish_b = t_start + t_rest
+                                    chan_busy[partner] = finish_b
+                                    chan_bytes[partner] += rest
+                                    chan_transfers[partner] += 1
+                                    sub_finish = (finish_a
+                                                  if finish_a >= finish_b
+                                                  else finish_b)
+                                else:
+                                    busy = chan_busy[channel]
+                                    t_start = (array_finish
+                                               if array_finish >= busy
+                                               else busy)
+                                    sub_finish = t_start + t_full
+                                    chan_busy[channel] = sub_finish
+                                    chan_bytes[channel] += page_size
+                                    chan_transfers[channel] += 1
+                                page_reads_local += 1
+                                r_fr += 1
+                                if buffer_enabled:
+                                    buffer_insert(lpn, False)
+                        if sub_finish > finish:
+                            finish = sub_finish
+                else:
+                    # -- writes (single- or multi-page) -------------------
+                    fua = fua_col[j]
+                    if lpns is None:
+                        write_lpns = ((offset // page_size) % logical_pages,)
+                    else:
+                        write_lpns = [lpn % logical_pages for lpn in lpns]
+                    for lpn in write_lpns:
+                        if not fua and buffer_enabled:
+                            # InternalDRAMBuffer.write, inlined: hits mark
+                            # dirty in place, misses insert (possibly
+                            # evicting the LRU victim).
+                            if lpn in buffer_pages:
+                                buffer_move(lpn)
+                                buffer_pages[lpn] = True
+                                buf_write_hits += 1
+                                r_bh += 1
+                                evicted = None
+                            else:
+                                buf_write_misses += 1
+                                r_bm += 1
+                                evicted = buffer_insert(lpn, True)
+                            sub_finish = firmware_done + hit_ns
+                            if evicted is not None and evicted[1]:
+                                program_lpn = evicted[0]
+                            else:
+                                program_lpn = None
+                        else:
+                            # FUA (or no buffer): data must reach the media.
+                            r_bm += 1
+                            sub_finish = firmware_done
+                            program_lpn = lpn
+                        if program_lpn is not None:
+                            address, gc_result = ftl_write(program_lpn)
+                            # Inlined FlashInterfaceLayer.write_page: the
+                            # (optionally split) DMA in, then the program.
+                            channel = address.channel
+                            if split:
+                                partner = channel + 1
+                                if partner == channel_count:
+                                    partner = 0
+                                busy = chan_busy[channel]
+                                t_start = (sub_finish if sub_finish >= busy
+                                           else busy)
+                                finish_a = t_start + t_half
+                                chan_busy[channel] = finish_a
+                                chan_bytes[channel] += half
+                                chan_transfers[channel] += 1
+                                busy = chan_busy[partner]
+                                t_start = (sub_finish if sub_finish >= busy
+                                           else busy)
+                                finish_b = t_start + t_rest
+                                chan_busy[partner] = finish_b
+                                chan_bytes[partner] += rest
+                                chan_transfers[partner] += 1
+                                transfer_finish = (finish_a
+                                                   if finish_a >= finish_b
+                                                   else finish_b)
+                            else:
+                                busy = chan_busy[channel]
+                                t_start = (sub_finish if sub_finish >= busy
+                                           else busy)
+                                transfer_finish = t_start + t_full
+                                chan_busy[channel] = transfer_finish
+                                chan_bytes[channel] += page_size
+                                chan_transfers[channel] += 1
+                            state = die_states[
+                                (channel * packages_per_channel
+                                 + address.package) * dies_per_package
+                                + address.die]
+                            busy = state.busy_until_ns
+                            array_start = (transfer_finish
+                                           if transfer_finish >= busy
+                                           else busy)
+                            sub_finish = array_start + program_ns
+                            state.busy_until_ns = sub_finish
+                            state.programs += 1
+                            page_programs_local += 1
+                            r_fp += 1
+                            # GC relocations charged serially after the
+                            # triggering program (rare; layer calls are
+                            # fine here).
+                            for old, new in gc_result.page_moves:
+                                read_access = fil.read_page(old, sub_finish)
+                                write_access = fil.write_page(
+                                    new, read_access.finish_ns)
+                                sub_finish = write_access.finish_ns
+                            r_gc += gc_result.pages_moved
+                        if sub_finish > finish:
+                            finish = sub_finish
+
+                # -- completion ---------------------------------------
+                heappush(outstanding, finish)
+                served_local += 1
+                if is_write:
+                    bytes_written_local += size
+                else:
+                    bytes_read_local += size
+                latency = finish - submit
+                # Inlined LatencyStat.record (Welford, exact update order).
+                s_count += 1
+                s_total += latency
+                if latency < s_min:
+                    s_min = latency
+                if latency > s_max:
+                    s_max = latency
+                delta = latency - s_mean
+                s_mean += delta / s_count
+                s_m2 += delta * (latency - s_mean)
+                starts.append(start)
+                finishes.append(finish)
+                latencies.append(latency)
+                if detail:
+                    col_bh.append(r_bh)
+                    col_bm.append(r_bm)
+                    col_fr.append(r_fr)
+                    col_fp.append(r_fp)
+                    col_gc.append(r_gc)
+                if chained:
+                    service_latency = latency
+                    if link is not None:
+                        # Inlined Link.transfer recurrence at finish time.
+                        t_start = (finish if finish >= link_busy
+                                   else link_busy)
+                        link_finish = (t_start + link_overhead) + link_raw
+                        link_busy = link_finish
+                        link_count += 1
+                        service_latency = latency + (link_finish - t_start)
+                    service_latencies.append(service_latency)
+                    if post_gaps is not None:
+                        now += post_gaps[j] + service_latency
+                    else:
+                        now += service_latency
+        finally:
+            # Fold the lifted statistics back even if a layer raised
+            # mid-batch (partial state then matches the scalar sequence up
+            # to the failing request).
+            stat.count = s_count
+            stat.total = s_total
+            stat.min = s_min
+            stat.max = s_max
+            stat._mean = s_mean
+            stat._m2 = s_m2
+            if served_local:
+                self.stats.counter("requests").value += float(served_local)
+            fil.page_reads += page_reads_local
+            fil.page_programs += page_programs_local
+            buffer_stats.read_hits += buf_read_hits
+            buffer_stats.read_misses += buf_read_misses
+            buffer_stats.write_hits += buf_write_hits
+            buffer_stats.write_misses += buf_write_misses
+            hil.requests_parsed += parsed_local
+            hil.subrequests_created += subs_local
+            self.requests_served += served_local
+            self.bytes_read += bytes_read_local
+            self.bytes_written += bytes_written_local
+            if chained and link is not None and link_count:
+                link.commit_transfers(link_count, link_count * link_bytes,
+                                      link_busy)
+
+        return IOBatchResult(
+            start_ns=starts, finish_ns=finishes, latency_ns=latencies,
+            buffer_hits=col_bh if detail else None,
+            buffer_misses=col_bm if detail else None,
+            flash_reads=col_fr if detail else None,
+            flash_programs=col_fp if detail else None,
+            gc_pages_moved=col_gc if detail else None,
+            service_latency_ns=service_latencies if chained else None,
+            end_ns=now if chained else 0.0)
 
     # -- power failure -------------------------------------------------------------------
 
@@ -194,78 +821,19 @@ class SSD:
             address, gc_result = self.ftl.write(lpn)
             access = self.fil.write_page(address, finish)
             finish = max(finish, access.finish_ns)
-            finish = self._charge_gc(gc_result, finish, None)
+            finish = self._charge_gc(gc_result, finish)
         return finish
 
     # -- internals -------------------------------------------------------------------
 
-    def _service_read(self, lpn: int, at_ns: float, result: IOResult) -> float:
-        lpn = self._clamp_lpn(lpn)
-        if self.buffer.read(lpn):
-            result.buffer_hits += 1
-            return at_ns + self.config.dram_buffer_hit_ns
-        result.buffer_misses += 1
-        address = self.ftl.lookup(lpn)
-        if address is None:
-            # Reading a never-written page returns zeroes from the controller
-            # without touching the flash array.
-            return at_ns + self.config.dram_buffer_hit_ns
-        access = self.fil.read_page(address, at_ns)
-        result.flash_reads += 1
-        self.buffer.fill(lpn)
-        return access.finish_ns
-
-    def _service_write(self, lpn: int, at_ns: float, fua: bool,
-                       result: IOResult) -> float:
-        lpn = self._clamp_lpn(lpn)
-        if not fua and self.buffer.enabled:
-            hit, evicted = self.buffer.write(lpn)
-            if hit:
-                result.buffer_hits += 1
-            else:
-                result.buffer_misses += 1
-            finish = at_ns + self.config.dram_buffer_hit_ns
-            if evicted is not None:
-                victim_lpn, dirty = evicted
-                if dirty:
-                    finish = self._program(victim_lpn, finish, result)
-            return finish
-        # FUA (or no buffer): the data must reach the flash media before the
-        # request completes.
-        result.buffer_misses += 1
-        return self._program(lpn, at_ns, result)
-
-    def _program(self, lpn: int, at_ns: float, result: Optional[IOResult]) -> float:
-        address, gc_result = self.ftl.write(lpn)
-        access = self.fil.write_page(address, at_ns)
-        if result is not None:
-            result.flash_programs += 1
-        finish = access.finish_ns
-        return self._charge_gc(gc_result, finish, result)
-
-    def _charge_gc(self, gc_result: GCResult, at_ns: float,
-                   result: Optional[IOResult]) -> float:
+    def _charge_gc(self, gc_result: GCResult, at_ns: float) -> float:
         """Charge garbage-collection relocations triggered by an allocation."""
         finish = at_ns
         for old, new in gc_result.page_moves:
             read_access = self.fil.read_page(old, finish)
             write_access = self.fil.write_page(new, read_access.finish_ns)
             finish = write_access.finish_ns
-        if result is not None:
-            result.gc_pages_moved += gc_result.pages_moved
         return finish
-
-    def _admission_time(self, submit_ns: float) -> float:
-        """Delay admission while the device queue is saturated."""
-        while self._outstanding and self._outstanding[0] <= submit_ns:
-            heapq.heappop(self._outstanding)
-        if len(self._outstanding) < self.config.max_outstanding:
-            return submit_ns
-        earliest = heapq.heappop(self._outstanding)
-        return max(submit_ns, earliest)
-
-    def _complete(self, finish_ns: float) -> None:
-        heapq.heappush(self._outstanding, finish_ns)
 
     def _clamp_lpn(self, lpn: int) -> int:
         """Wrap out-of-range LPNs into the device (callers address modulo capacity)."""
@@ -274,15 +842,35 @@ class SSD:
     # -- reporting -------------------------------------------------------------------
 
     def statistics(self) -> Dict[str, float]:
+        """Unified ``flash_*`` counter fold over every layer of the stack.
+
+        One stable namespace replaces the historical ad-hoc per-layer
+        dictionaries: host-interface service counters, the DRAM buffer's
+        hit/eviction counters, FTL mapping/GC counters and the FIL/channel
+        traffic counters all appear under ``flash_`` keys.
+        """
+        buffer_stats = self.buffer.stats
         summary: Dict[str, float] = {
-            "requests_served": float(self.requests_served),
-            "bytes_read": float(self.bytes_read),
-            "bytes_written": float(self.bytes_written),
-            "buffer_hit_rate": self.buffer.stats.hit_rate,
+            "flash_requests_served": float(self.requests_served),
+            "flash_bytes_read": float(self.bytes_read),
+            "flash_bytes_written": float(self.bytes_written),
+            "flash_buffer_hit_rate": buffer_stats.hit_rate,
+            "flash_buffer_read_hits": float(buffer_stats.read_hits),
+            "flash_buffer_read_misses": float(buffer_stats.read_misses),
+            "flash_buffer_write_hits": float(buffer_stats.write_hits),
+            "flash_buffer_write_misses": float(buffer_stats.write_misses),
+            "flash_buffer_dirty_evictions": float(
+                buffer_stats.dirty_evictions),
+            "flash_buffer_clean_evictions": float(
+                buffer_stats.clean_evictions),
             "flash_page_reads": float(self.fil.page_reads),
             "flash_page_programs": float(self.fil.page_programs),
+            "flash_block_erases": float(self.fil.block_erases),
         }
-        summary.update({f"ftl_{k}": v for k, v in self.ftl.statistics().items()})
+        summary.update({f"flash_{key}": value
+                        for key, value in self.channels.statistics().items()})
+        summary.update({f"flash_ftl_{key}": float(value)
+                        for key, value in self.ftl.statistics().items()})
         return summary
 
 

@@ -6,13 +6,20 @@ the same die serialize — the behaviour that gives SSDs their internal
 parallelism (Figure 4a).  Plane-level parallelism is modelled as multi-plane
 operations: a die can start one array operation at a time, but an operation
 may cover several planes of that die with a single array time.
+
+Die state lives in one flat list indexed by
+``(channel * packages_per_channel + package) * dies_per_package + die`` so
+the batched submission walk (:meth:`repro.flash.ssd.SSD.submit_batch`) can
+index occupancy directly; :meth:`issue_schedule` issues a whole vector of
+operations against that shared state with the exact per-die
+``start = max(at, busy); busy = start + t`` recurrence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from ..config import FlashGeometry, FlashTiming
 
@@ -46,35 +53,48 @@ class ZNANDArray:
 
     The array does not know about logical addresses or wear levelling — it
     only answers "when would an operation issued at time T on die D finish?"
-    and records per-die utilisation statistics.
+    and records per-die utilisation statistics.  The authoritative state is
+    the flat ``_states`` list (see :meth:`flat_index`); the dict-of-dies of
+    earlier revisions is gone so batch walks can share it by index.
     """
 
     def __init__(self, geometry: FlashGeometry, timing: FlashTiming) -> None:
         self.geometry = geometry
         self.timing = timing
-        self._dies: Dict[Tuple[int, int, int], DieState] = {}
+        self.dies_per_channel = (geometry.packages_per_channel
+                                 * geometry.dies_per_package)
+        self.die_count = geometry.channels * self.dies_per_channel
+        self._states: List[DieState] = []
         for channel in range(geometry.channels):
             for package in range(geometry.packages_per_channel):
                 for die in range(geometry.dies_per_package):
-                    key = (channel, package, die)
-                    self._dies[key] = DieState(channel=channel, package=package,
-                                               die=die)
+                    self._states.append(DieState(channel=channel,
+                                                 package=package, die=die))
 
     # -- addressing helpers -------------------------------------------------
 
+    def flat_index(self, channel: int, package: int, die: int) -> int:
+        """Flat die index used by the occupancy arrays and batch walks."""
+        geometry = self.geometry
+        if (0 <= channel < geometry.channels
+                and 0 <= package < geometry.packages_per_channel
+                and 0 <= die < geometry.dies_per_package):
+            return ((channel * geometry.packages_per_channel + package)
+                    * geometry.dies_per_package + die)
+        raise ValueError(
+            f"die address out of range: ({channel}, {package}, {die})")
+
     def die_state(self, channel: int, package: int, die: int) -> DieState:
-        try:
-            return self._dies[(channel, package, die)]
-        except KeyError:
-            raise ValueError(
-                f"die address out of range: ({channel}, {package}, {die})"
-            ) from None
+        return self._states[self.flat_index(channel, package, die)]
 
     def dies(self) -> List[DieState]:
-        return list(self._dies.values())
+        return list(self._states)
 
     def dies_on_channel(self, channel: int) -> List[DieState]:
-        return [die for key, die in self._dies.items() if key[0] == channel]
+        base = channel * self.dies_per_channel
+        if channel < 0 or base >= self.die_count:
+            return []
+        return self._states[base:base + self.dies_per_channel]
 
     # -- timing -------------------------------------------------------------
 
@@ -96,7 +116,7 @@ class ZNANDArray:
         becomes free (or immediately if it is idle) and occupies the die for
         the raw array time.
         """
-        state = self.die_state(channel, package, die)
+        state = self._states[self.flat_index(channel, package, die)]
         start = max(at_ns, state.busy_until_ns)
         finish = start + self.operation_time_ns(operation)
         state.busy_until_ns = finish
@@ -108,29 +128,61 @@ class ZNANDArray:
             state.erases += 1
         return start, finish
 
+    def issue_schedule(
+            self, flat_indices: Sequence[int], operation: FlashOperation,
+            at_ns: Union[float, Sequence[float]],
+    ) -> Tuple[List[float], List[float]]:
+        """Issue a vector of same-type operations in order.
+
+        Equivalent to calling :meth:`issue` once per element.  Dies that
+        appear once in the schedule resolve element-wise (their ``max(at,
+        busy)`` is independent of the rest of the vector); repeated dies
+        carry the exact sequential recurrence.  Returns start/finish lists
+        bit-identical to the scalar call sequence.
+        """
+        count = len(flat_indices)
+        at_list = ([at_ns] * count if isinstance(at_ns, (int, float))
+                   else at_ns)
+        time = self.operation_time_ns(operation)
+        states = self._states
+        counter = operation.value + "s"
+        starts: List[float] = []
+        finishes: List[float] = []
+        for index in range(count):
+            state = states[flat_indices[index]]
+            at = at_list[index]
+            horizon = state.busy_until_ns
+            start = at if at >= horizon else horizon
+            finish = start + time
+            state.busy_until_ns = finish
+            setattr(state, counter, getattr(state, counter) + 1)
+            starts.append(start)
+            finishes.append(finish)
+        return starts, finishes
+
     def earliest_available(self, at_ns: float) -> Tuple[int, int, int]:
         """Address of the die that frees up first at or after *at_ns*.
 
         Used by the write allocator to stripe programs across idle dies.
         """
-        best_key = None
+        best_state = None
         best_free = None
-        for key, state in self._dies.items():
+        for state in self._states:
             free = max(at_ns, state.busy_until_ns)
             if best_free is None or free < best_free:
                 best_free = free
-                best_key = key
-        assert best_key is not None
-        return best_key
+                best_state = state
+        assert best_state is not None
+        return best_state.channel, best_state.package, best_state.die
 
     # -- statistics ----------------------------------------------------------
 
     def utilisation_summary(self) -> Dict[str, float]:
         """Aggregate operation counts and the maximum busy-until time."""
-        reads = sum(d.reads for d in self._dies.values())
-        programs = sum(d.programs for d in self._dies.values())
-        erases = sum(d.erases for d in self._dies.values())
-        busiest = max((d.busy_until_ns for d in self._dies.values()), default=0.0)
+        reads = sum(d.reads for d in self._states)
+        programs = sum(d.programs for d in self._states)
+        erases = sum(d.erases for d in self._states)
+        busiest = max((d.busy_until_ns for d in self._states), default=0.0)
         return {
             "reads": float(reads),
             "programs": float(programs),
@@ -139,7 +191,7 @@ class ZNANDArray:
         }
 
     def reset(self) -> None:
-        for state in self._dies.values():
+        for state in self._states:
             state.busy_until_ns = 0.0
             state.reads = 0
             state.programs = 0

@@ -65,6 +65,29 @@ class Link(abc.ABC):
     def next_free(self, at_ns: float) -> float:
         return max(at_ns, self._busy_until_ns)
 
+    @property
+    def busy_until_ns(self) -> float:
+        """Current reservation horizon (when the link next goes idle)."""
+        return self._busy_until_ns
+
+    def commit_transfers(self, count: int, bytes_moved: int,
+                         busy_until_ns: float) -> None:
+        """Fold the accounting of *count* externally-computed transfers.
+
+        The chained mode of :meth:`repro.flash.ssd.SSD.submit_batch` inlines
+        the exact :meth:`transfer` recurrence (``start = max(at, busy);
+        finish = (start + overhead) + raw``) into its submission loop and
+        commits the side effects here in one call.  ``busy_until_ns`` must
+        be the horizon after the last inlined transfer.
+        """
+        if count < 0 or bytes_moved < 0:
+            raise ValueError("transfer accounting cannot decrease")
+        if busy_until_ns < self._busy_until_ns:
+            raise ValueError("link reservation horizon cannot move backwards")
+        self.bytes_transferred += bytes_moved
+        self.transfers += count
+        self._busy_until_ns = busy_until_ns
+
     def statistics(self) -> Dict[str, float]:
         return {
             "bytes_transferred": float(self.bytes_transferred),

@@ -33,12 +33,13 @@ class _Ring:
         self.slots: List[Optional[object]] = [None] * depth
         self.head = 0
         self.tail = 0
+        self._used = 0
 
     def __len__(self) -> int:
-        return (self.tail - self.head) % self.depth if self.slots_used() else 0
+        return (self.tail - self.head) % self.depth if self._used else 0
 
     def slots_used(self) -> int:
-        return sum(1 for slot in self.slots if slot is not None)
+        return self._used
 
     @property
     def is_empty(self) -> bool:
@@ -53,6 +54,7 @@ class _Ring:
             raise QueueFullError("ring is full")
         slot = self.tail
         self.slots[slot] = item
+        self._used += 1
         self.tail = (self.tail + 1) % self.depth
         return slot
 
@@ -61,6 +63,7 @@ class _Ring:
             return None
         item = self.slots[self.head]
         self.slots[self.head] = None
+        self._used -= 1
         self.head = (self.head + 1) % self.depth
         return item
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..energy.accounting import EnergyAccount
-from ..flash.ssd import SSD
+from ..flash.ssd import IORequestBatch, SSD
 from ..host.os_stack import PageCache
 from ..interconnect.pcie import PCIeLink
 from ..memory.nvdimm import NVDIMM
@@ -96,8 +96,13 @@ class BypassPlatform(Platform):
         and only the misses — whose flash reads and PCIe transfers are
         queued and history-dependent — replay at exact scalar issue clocks
         via :meth:`~repro.platforms.base.MemoryRequestBatch.service_page_cached`.
-        ``ull`` is the degenerate all-miss case of the same fold (the page
-        buffer never enters the load/store path).
+        ``ull`` is the degenerate all-miss case — every access is a
+        synchronous flash I/O whose next submission clock depends on the
+        previous completion — so when the batch's timeline decomposes into
+        one uniform gap per request it runs the whole closed-loop recurrence
+        inside one chained :meth:`~repro.flash.ssd.SSD.submit_batch` call
+        (device walk and PCIe link inlined, bit-identical to the scalar
+        loop); otherwise it falls back to the page-cached fold below.
         """
         if self.strategy == "nvdimm":
             latency = self.nvdimm.access_batch(batch.sizes, batch.writes)
@@ -107,6 +112,10 @@ class BypassPlatform(Platform):
         count = len(batch)
         if count == 0:
             return MemoryServiceBatch(latency_ns=np.empty(0))
+        if self.strategy == "ull":
+            chained = self._service_chained(batch)
+            if chained is not None:
+                return chained
         pages = batch.addresses // _PAGE
         if self.strategy == "ull-buff":
             walk = self.page_buffer.access_batch(pages, batch.writes)
@@ -140,6 +149,53 @@ class BypassPlatform(Platform):
 
         return batch.service_page_cached(hit_mask, hit_latency, miss_indices,
                                          miss_service)
+
+    def _service_chained(self, batch: MemoryRequestBatch):
+        """Run an all-miss batch as one chained flash submission.
+
+        Exactness requires recovering every request's scalar issue clock
+        from the batch timeline as *one* pre-gap addend per request (the
+        per-access compute phase).  That holds exactly when every chunk
+        access produced an off-chip request — true for the page-granular
+        streams ``ull`` sees — and is checked structurally here; any other
+        slot pattern (fine-grained chunks with cache hits interleaved)
+        returns ``None`` and the caller uses the per-miss fold instead.
+        """
+        count = len(batch)
+        timeline = batch.timeline
+        if timeline is not None:
+            addends = timeline.addends
+            slots = timeline.service_slots
+            if len(addends) == 2 * count:
+                expected = 2 * np.arange(count, dtype=np.int64) + 1
+                if not np.array_equal(slots, expected):
+                    return None
+                pre_gap = addends[0::2]
+            elif len(addends) == count:
+                if not np.array_equal(slots,
+                                      np.arange(count, dtype=np.int64)):
+                    return None
+                pre_gap = None
+            else:
+                return None
+        else:
+            # No timeline: requests issue back to back (zero pre-gap).
+            pre_gap = None
+        io_batch = IORequestBatch(
+            is_write=batch.writes,
+            byte_offset=(batch.addresses // _PAGE) * _PAGE,
+            size_bytes=_PAGE,
+            chained=True,
+            start_ns=batch.start_ns,
+            pre_gap_ns=pre_gap,
+            post_gap_ns=batch.on_chip_ns,
+            link=self.link,
+            link_bytes=_PAGE,
+            record_details=False)
+        result = self.ssd.submit_batch(io_batch)
+        return MemoryServiceBatch(
+            latency_ns=np.asarray(result.service_latency_ns,
+                                  dtype=np.float64))
 
     def collect_energy(self, account: EnergyAccount) -> None:
         account.charge_nvdimm(active_ns=self._nvdimm_busy_ns,

@@ -11,14 +11,23 @@ and the full latency is charged to the application (the paper's Figure 17
 classifies HAMS storage accesses as LD/ST latency, not as OS or SSD time).
 
 Batched replay note: the controller's tag array, eviction journal and
-ULL-Flash queues make each access depend on request order and issue time,
-so the platform relies on the base class's exact sequential
-:meth:`~repro.platforms.base.Platform.service_batch` fallback.
+ULL-Flash queues make each access depend on request order and issue time —
+but the *classification* (tag probes, dirty bits, direct-mapped installs)
+is clock-free.  :meth:`HAMSPlatform.service_batch` therefore splits the
+datapath: one scalar-order
+:meth:`~repro.core.hams_controller.HAMSController.classify_batch` walk
+resolves every hit/miss, victim and NVDIMM charge up front, a tight
+timeline-cursor fold reproduces each hit's clock-relative latency bit for
+bit, and only the misses — engine waits, NVMe issues, background-eviction
+parking — replay against the device at their exact scalar issue clocks
+through :meth:`~repro.core.hams_controller.HAMSController.replay_miss`.
 """
 
 from __future__ import annotations
 
 from typing import Dict
+
+import numpy as np
 
 from ..config import SystemConfig
 from ..core.hams_controller import HAMSController
@@ -26,7 +35,12 @@ from ..core.persistency import RecoveryReport
 from ..energy.accounting import EnergyAccount
 from ..energy.models import EnergyModel
 from ..workloads.trace import WorkloadTrace
-from .base import MemoryServiceResult, Platform
+from .base import (
+    MemoryRequestBatch,
+    MemoryServiceBatch,
+    MemoryServiceResult,
+    Platform,
+)
 
 _VARIANTS = {
     "hams-LP": ("loose", "persist"),
@@ -66,6 +80,92 @@ class HAMSPlatform(Platform):
                               is_write: bool, at_ns: float) -> MemoryServiceResult:
         result = self.controller.access(address, size_bytes, is_write, at_ns)
         return MemoryServiceResult(latency_ns=result.latency_ns)
+
+    def service_batch(self, batch: MemoryRequestBatch) -> MemoryServiceBatch:
+        """Vectorized service around the clock-free tag-array walk.
+
+        One :meth:`~repro.core.hams_controller.HAMSController.classify_batch`
+        walk resolves hits, misses, victims and the whole NVDIMM charge
+        schedule; the fold below then reconstructs each request's exact
+        scalar issue clock from the batch timeline, computes every hit's
+        latency in place (``((now + probe) + serve) - now`` — the same
+        float-rounding path the scalar loop takes) and replays only the
+        misses against the engine/ULL-Flash via
+        :meth:`~repro.core.hams_controller.HAMSController.replay_miss`.
+        Bit-identical to the scalar path — ``tests/test_batched_replay.py``
+        is the contract.
+        """
+        count = len(batch)
+        if count == 0:
+            return MemoryServiceBatch(latency_ns=np.empty(0))
+        controller = self.controller
+        addresses = batch.addresses
+        sizes = batch.sizes
+        # Out-of-range requests must raise mid-walk exactly where the
+        # scalar loop would; hand those batches to the sequential engine.
+        if (int(addresses.min()) < 0 or int(sizes.min()) <= 0
+                or int((addresses + sizes).max())
+                > controller.mos_capacity_bytes):
+            return batch.service_sequentially(self.service_memory_access)
+
+        plan = controller.classify_batch(addresses, sizes, batch.writes)
+        probe = plan.probe_ns
+        hits = plan.hits.tolist()
+        # Per-hit NVDIMM delay component, exactly as the scalar result
+        # accumulates it: (0.0 + probe) + serve.
+        nv_hit = (probe + plan.serve_ns).tolist()
+        serve = plan.serve_ns.tolist()
+        sizes_list = sizes.tolist()
+        writes_list = batch.writes.tolist()
+        on_chip = batch.on_chip_ns.tolist()
+        timeline = batch.timeline
+        if timeline is not None:
+            addends = timeline.addends.tolist()
+            slots = timeline.service_slots.tolist()
+        else:
+            addends = None
+            slots = None
+
+        latency = [0.0] * count
+        delays = controller.delays
+        s_nvdimm = delays.nvdimm_ns
+        s_dma = delays.dma_ns
+        s_ssd = delays.ssd_ns
+        s_wait = delays.wait_ns
+        miss_iter = iter(plan.misses)
+        next_miss = next(miss_iter, None)
+        replay_miss = controller.replay_miss
+        now = batch.start_ns
+        cursor = 0
+        for j in range(count):
+            if slots is not None:
+                slot = slots[j]
+                while cursor < slot:
+                    now += addends[cursor]
+                    cursor += 1
+                cursor = slot + 1
+            if hits[j]:
+                finish = (now + probe) + serve[j]
+                lat = finish - now
+                s_nvdimm += nv_hit[j]
+            else:
+                _, address, decomposed, lookup = next_miss
+                result = replay_miss(address, decomposed, lookup,
+                                     sizes_list[j], writes_list[j], now)
+                lat = result.finish_ns - now
+                s_nvdimm += result.nvdimm_ns
+                s_dma += result.dma_ns
+                s_ssd += result.ssd_ns
+                s_wait += result.wait_ns
+                next_miss = next(miss_iter, None)
+            latency[j] = lat
+            now += on_chip[j] + lat
+        delays.nvdimm_ns = s_nvdimm
+        delays.dma_ns = s_dma
+        delays.ssd_ns = s_ssd
+        delays.wait_ns = s_wait
+        return MemoryServiceBatch(
+            latency_ns=np.array(latency, dtype=np.float64))
 
     # -- persistency passthrough ---------------------------------------------------------
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..energy.accounting import EnergyAccount
-from ..flash.ssd import SSD
+from ..flash.ssd import IORequestBatch, SSD
 from ..host.os_stack import PageCache
 from ..memory.nvdimm import NVDIMM
 from ..numerics import sequential_add
@@ -126,6 +126,40 @@ class NvdimmCPlatform(Platform):
                 migration_ns += self.migration_latency_ns * 0.1  # mostly overlapped
         return migration_ns
 
+    def _migrate_chunk_batched(self, page: int,
+                               evictions: List[Tuple[int, bool]],
+                               at_ns: float) -> float:
+        """The batch-API route of :meth:`_migrate_chunk` (bit-identical).
+
+        The chunk read goes through one lean
+        :meth:`~repro.flash.ssd.SSD.submit_batch` call, and — because a
+        victim writeback's completion never feeds back into the migration
+        latency (the scalar loop ignores its result and bumps the clock by
+        a fixed overlap term) — every dirty writeback's submission clock is
+        known up front, so they all fold into *one* open-loop batch instead
+        of per-victim scalar submissions.
+        """
+        chunk_first = self._chunk_first(page)
+        read = self.ssd.submit_batch(IORequestBatch(
+            is_write=False, byte_offset=[chunk_first * _PAGE],
+            size_bytes=self.migration_granularity_bytes, submit_ns=at_ns,
+            record_details=False))
+        device_ns = read.finish_ns[0] - at_ns
+        migration_ns = max(self.migration_latency_ns, device_ns)
+        offsets: List[int] = []
+        submits: List[float] = []
+        bump = self.migration_latency_ns * 0.1  # mostly overlapped
+        for victim, victim_dirty in evictions:
+            if victim_dirty:
+                offsets.append(victim * _PAGE)
+                submits.append(at_ns + migration_ns)
+                migration_ns += bump
+        if offsets:
+            self.ssd.submit_batch(IORequestBatch(
+                is_write=True, byte_offset=offsets, size_bytes=_PAGE,
+                submit_ns=submits, record_details=False))
+        return migration_ns
+
     def service_batch(self, batch: MemoryRequestBatch) -> MemoryServiceBatch:
         """Vectorized service around the order-exact batched LRU walk.
 
@@ -150,8 +184,8 @@ class NvdimmCPlatform(Platform):
         evictions = walk.evictions
 
         def miss_service(k: int, index: int, now: float):
-            migration_ns = self._migrate_chunk(pages_list[index],
-                                               evictions[k], now)
+            migration_ns = self._migrate_chunk_batched(pages_list[index],
+                                                       evictions[k], now)
             return migration_ns + dram_latency_list[index], 0.0, 0.0
 
         return batch.service_page_cached(walk.hits, dram_latency,

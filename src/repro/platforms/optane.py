@@ -112,6 +112,12 @@ class OptanePlatform(Platform):
         when the install evicted a dirty victim — replays through
         :meth:`~repro.memory.optane.OptaneDCPMM.access_batch` in exactly
         the scalar call order, preserving the XPBuffer state machine.
+
+        This is the same capture-the-schedule-then-replay idiom the
+        flash-backed platforms use with
+        :meth:`repro.flash.ssd.SSD.submit_batch`: classify with the
+        stateful cache walk, fold the clock-free costs vectorized, and
+        hand the ordered miss schedule to the device model in one call.
         """
         assert self.dram is not None and self.dram_cache is not None
         count = len(batch)

@@ -169,9 +169,14 @@ class TestStatisticsAndProperties:
         ssd = small_ssd()
         ssd.write(0, KB(4), at_ns=0.0)
         stats = ssd.statistics()
-        assert stats["requests_served"] == 1
-        assert stats["bytes_written"] == KB(4)
-        assert "ftl_write_amplification" in stats
+        assert stats["flash_requests_served"] == 1
+        assert stats["flash_bytes_written"] == KB(4)
+        assert "flash_ftl_write_amplification" in stats
+        # The unified fold puts every layer under one stable namespace.
+        assert all(key.startswith("flash_") for key in stats)
+        for key in ("flash_buffer_read_hits", "flash_page_programs",
+                    "flash_channel_bytes_moved", "flash_ftl_host_writes"):
+            assert key in stats
 
     @settings(max_examples=15, deadline=None)
     @given(st.lists(st.tuples(st.booleans(),
