@@ -19,7 +19,7 @@ Quick start (see :mod:`repro.api` for the full facade)::
     print(result.operations_per_second)
 """
 
-from .api import Session, compare, run_sharded, simulate, sweep
+from .api import ServeClient, Session, compare, run_sharded, simulate, sweep
 from .exec import (
     Event,
     Executor,
@@ -69,6 +69,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Session",
+    "ServeClient",
     "simulate",
     "compare",
     "sweep",

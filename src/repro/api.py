@@ -71,6 +71,7 @@ from .workloads.trace import WorkloadTrace
 
 __all__ = [
     "Session",
+    "ServeClient",
     "simulate",
     "compare",
     "sweep",
@@ -335,3 +336,9 @@ def run_sharded(platforms: Iterable[str], workloads: Iterable[str], *,
                       wait_timeout=wait_timeout)
     return session.collect(
         matrix_specs(list(platforms), list(workloads)), name=name)
+
+
+# The serve tier's client is part of the stable facade (submit experiments
+# to a running ``repro serve`` daemon).  Imported last: the serve daemon
+# itself builds Sessions, so this module must be fully defined first.
+from .serve.client import ServeClient  # noqa: E402

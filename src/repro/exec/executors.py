@@ -68,7 +68,9 @@ from ..runner.specs import RunSpec
 from .handle import CancelToken, ExperimentHandle
 
 #: The names ``Session(executor=...)`` and ``repro run --executor`` accept.
-EXECUTOR_NAMES = ("serial", "pool", "sharded")
+#: ``serve:<url>`` (e.g. ``serve:http://127.0.0.1:8642``) routes through a
+#: running ``repro serve`` daemon.
+EXECUTOR_NAMES = ("serial", "pool", "sharded", "serve:<url>")
 
 
 @dataclass(frozen=True)
@@ -444,6 +446,15 @@ def resolve_executor(executor: Union[str, Executor, None], *,
             return PoolExecutor()
         if executor == "sharded":
             return ShardedExecutor()
+        if executor.startswith("serve:"):
+            # Lazy: the serve tier is optional plumbing on top of this
+            # layer, and importing it here eagerly would be a cycle.
+            from ..serve.client import ServeExecutor
+            url = executor[len("serve:"):]
+            if not url:
+                raise ValueError(
+                    "serve executor needs a URL: \"serve:http://host:port\"")
+            return ServeExecutor(url)
         raise ValueError(f"unknown executor {executor!r}; expected one of "
                          f"{EXECUTOR_NAMES} or an Executor instance")
     if isinstance(executor, Executor):

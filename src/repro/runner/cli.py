@@ -42,6 +42,14 @@ Subcommands
     unsharded execution — and ``status`` shows where every shard stands
     (``--watch`` keeps polling, tailing the per-run progress records,
     until the spool completes).
+
+``serve start|status|submit|watch|shutdown``
+    The long-running multi-tenant experiment service (see
+    :mod:`repro.serve` and :mod:`repro.serve.cli`): a daemon owning the
+    run cache and a crash-safe persistent job queue, accepting
+    submissions over HTTP/JSON, scheduling them priority-first with
+    per-tenant fairness, deduping identical submissions against one
+    execution, and streaming per-run progress as ``repro.events/1``.
 """
 
 from __future__ import annotations
@@ -142,10 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the run cache entirely")
     run.add_argument("--force", action="store_true",
                      help="ignore cache hits but refresh stored runs")
-    run.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
-                     help="execution tier (default: pool, or sharded when "
-                          "--shards is given); results are bit-identical "
-                          "on every tier")
+    run.add_argument("--executor", default=None, metavar="TIER",
+                     help=f"execution tier: one of {EXECUTOR_NAMES} "
+                          f"(default: pool, or sharded when --shards is "
+                          f"given); results are bit-identical on every "
+                          f"tier")
     run.add_argument("--shards", type=int, default=None,
                      help="shard count for the sharded executor "
                           "(implies --executor sharded; default: 2 when "
@@ -261,6 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="poll interval in seconds for --watch "
                              "(default: 2)")
     status.set_defaults(handler=cmd_shard_status)
+
+    # Lazy: the serve verb tree lives with the service package, and this
+    # module must stay importable before repro.serve finishes loading.
+    from ..serve.cli import register as register_serve
+    register_serve(subparsers)
 
     return parser
 
@@ -550,7 +564,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def _select_single_preset(args: argparse.Namespace) -> ExperimentPreset:
-    """``shard plan`` takes exactly one experiment (named or ad-hoc)."""
+    """One experiment, named or ad-hoc (``shard plan``, ``serve submit``)."""
     if args.experiment and (args.platforms or args.workloads):
         raise ValueError(
             f"cannot combine the {args.experiment!r} preset with "
@@ -560,7 +574,7 @@ def _select_single_preset(args: argparse.Namespace) -> ExperimentPreset:
     presets = _select_presets(args)
     if len(presets) != 1:
         raise ValueError(
-            "shard plan needs exactly one experiment: name a preset, pass "
+            "need exactly one experiment: name a preset, pass "
             "--smoke, or give --platforms/--workloads")
     return presets[0]
 

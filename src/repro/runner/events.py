@@ -46,8 +46,12 @@ RUN_START = "start"              #: a run was dispatched for execution
 RUN_FINISH = "finish"            #: a run finished executing
 CACHE_HIT = "cache-hit"          #: a run resolved from the run cache
 SHARD_CLAIMED = "shard-claimed"  #: a shard manifest was claimed by a worker
+JOB_QUEUED = "job-queued"        #: a service job entered the persistent queue
+JOB_START = "job-start"          #: a service job was claimed by a worker
+JOB_FINISH = "job-finish"        #: a service job reached a terminal state
 
-EVENT_KINDS = (SUBMITTED, RUN_START, RUN_FINISH, CACHE_HIT, SHARD_CLAIMED)
+EVENT_KINDS = (SUBMITTED, RUN_START, RUN_FINISH, CACHE_HIT, SHARD_CLAIMED,
+               JOB_QUEUED, JOB_START, JOB_FINISH)
 
 
 @dataclass(frozen=True)
@@ -56,10 +60,11 @@ class Event:
 
     Only ``kind`` and ``unix`` are always present; the remaining fields are
     populated per kind (run events carry ``index``/keys/throughput, shard
-    events carry ``shard_index``/``owner``).  ``result`` is the in-process
-    payload riding along to the handle — it never enters the JSON record
-    (run results live in the run cache and the experiment artifact, keyed
-    by ``key``).
+    events carry ``shard_index``/``owner``, service-job events carry
+    ``job``/``tenant``/``state``).  ``result`` is the in-process payload
+    riding along to the handle — it never enters the JSON record (run
+    results live in the run cache and the experiment artifact, keyed by
+    ``key``).
     """
 
     kind: str
@@ -76,6 +81,9 @@ class Event:
     experiment: Optional[str] = None
     total: Optional[int] = None
     executor: Optional[str] = None
+    job: Optional[str] = None
+    tenant: Optional[str] = None
+    state: Optional[str] = None
     result: Optional[RunResult] = dataclasses.field(
         default=None, compare=False)
 
@@ -85,7 +93,8 @@ class Event:
                                   "unix": self.unix}
         for name in ("index", "platform_key", "workload_key", "cache_hit",
                      "operations_per_second", "key", "shard_index", "owner",
-                     "experiment", "total", "executor"):
+                     "experiment", "total", "executor", "job", "tenant",
+                     "state"):
             value = getattr(self, name)
             if value is not None:
                 record[name] = value
@@ -142,6 +151,24 @@ def claim_event(shard_index: int, owner: str) -> Event:
     return Event(kind=SHARD_CLAIMED, shard_index=shard_index, owner=owner)
 
 
+def job_event(kind: str, job_id: str, tenant: str, *,
+              state: Optional[str] = None,
+              key: Optional[str] = None,
+              experiment: Optional[str] = None,
+              total: Optional[int] = None,
+              owner: Optional[str] = None) -> Event:
+    """A service-job lifecycle record (``job-queued``/``job-start``/
+    ``job-finish``).
+
+    ``key`` carries the job's execution key (the submission-dedup address,
+    see :mod:`repro.serve.jobs`), and a terminal ``job-finish`` record in an
+    execution's event stream is the marker long-poll watchers use to tell
+    "stream complete" from "worker still running".
+    """
+    return Event(kind=kind, job=job_id, tenant=tenant, state=state, key=key,
+                 experiment=experiment, total=total, owner=owner)
+
+
 def append_event(path: Path, event: Event, *, mode: str = "a") -> Path:
     """Append one event line to *path* (``mode="w"`` truncates first).
 
@@ -184,3 +211,34 @@ def read_events(path: Path, offset: int = 0) -> Tuple[List[Event], int]:
         except (ValueError, UnicodeDecodeError):
             continue
     return events, offset + consumed
+
+
+def tail_bytes(path: Path, offset: int = 0) -> Tuple[bytes, int]:
+    """Raw complete-line bytes of *path* from byte *offset*, plus new offset.
+
+    The wire-level sibling of :func:`read_events`, used by the serve
+    daemon's HTTP event streamer: lines are relayed to clients verbatim (no
+    parse/re-serialise round trip), an incomplete final line is left for
+    the next poll, and a missing file reads as empty.  When the file is
+    *shorter* than the requested offset — a restarted execution truncated
+    and rewrote the stream — reading restarts from byte 0 rather than
+    waiting forever past the end; run-event consumers dedupe on ``index``,
+    so the replayed prefix is harmless.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return b"", offset
+    if size < offset:
+        offset = 0
+    try:
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except OSError:
+        return b"", offset
+    cut = data.rfind(b"\n")
+    if cut < 0:
+        return b"", offset
+    return data[:cut + 1], offset + cut + 1

@@ -1,0 +1,71 @@
+"""repro.serve: the long-running multi-tenant experiment service.
+
+A daemon (:class:`ServeDaemon`) that owns the content-addressed run cache
+and a crash-safe persistent job queue, accepts experiment submissions over
+HTTP/JSON, multiplexes them across a bounded worker fleet with per-tenant
+fair scheduling and submission dedup, and streams per-run progress as
+``repro.events/1`` JSONL.  :class:`ServeClient` is the typed client;
+``Session(executor="serve:<url>")`` routes ordinary ``submit()`` calls
+through a daemon via :class:`ServeExecutor`.  Start one with
+``python -m repro serve start --state DIR``.
+"""
+
+from .client import (
+    ServeClient,
+    ServeClientError,
+    ServeExecutor,
+    ServeUnavailable,
+)
+from .jobs import (
+    ACTIVE_STATES,
+    CANCELLED,
+    DEFAULT_TENANT,
+    DONE,
+    FAILED,
+    JOB_SCHEMA,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+    execution_key,
+)
+from .scheduler import pick_next, tenant_snapshot, waiting_duplicates
+from .server import (
+    SERVER_SCHEMA,
+    STATUS_SCHEMA,
+    ServeConfig,
+    ServeDaemon,
+    ServeError,
+    server_record_path,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "DEFAULT_TENANT",
+    "DONE",
+    "FAILED",
+    "JOB_SCHEMA",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "SERVER_SCHEMA",
+    "STATUS_SCHEMA",
+    "TERMINAL_STATES",
+    "Job",
+    "JobQueue",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "ServeExecutor",
+    "ServeUnavailable",
+    "execution_key",
+    "pick_next",
+    "server_record_path",
+    "tenant_snapshot",
+    "waiting_duplicates",
+]

@@ -1,0 +1,313 @@
+"""``python -m repro serve`` — operate the long-running experiment service.
+
+Verbs
+-----
+
+``serve start --state DIR``
+    Run a daemon in the foreground over *DIR* (queue, cache, events,
+    per-tenant results).  ``--fleet`` bounds the concurrent jobs,
+    ``--job-executor``/``--job-workers`` shape each job's execution, and
+    the scale knobs mirror ``repro run`` (the scale is daemon-wide: every
+    tenant's submissions execute under it).  SIGTERM/SIGINT drain
+    gracefully — in-flight runs finish and persist, their jobs return to
+    the queue, and a restarted daemon resumes without duplicating or
+    dropping work.
+
+``serve status [--watch]``
+    One status line (or a polling view, mirroring ``shard status
+    --watch``): queue depth by state, per-tenant in-flight counts, and the
+    daemon-lifetime run cache-hit rate.  ``--until-idle`` makes ``--watch``
+    exit once nothing is queued or running (what CI polls).
+
+``serve submit [EXPERIMENT | --platforms ... --workloads ...]``
+    Submit a preset or ad-hoc matrix as one job (``--tenant``,
+    ``--priority`` set the scheduling identity) and print its job id.
+    ``--wait`` blocks streaming progress until the job is terminal;
+    ``--output`` then writes the ``repro.experiment/1`` artifact locally.
+
+``serve watch JOB``
+    Tail a job's ``repro.events/1`` stream (long-poll) until it is
+    terminal; exits 0 only when the job finished cleanly.
+
+``serve shutdown``
+    Stop the daemon (default: drain).
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import time
+from pathlib import Path
+
+from ..runner.artifacts import atomic_write_json
+from ..runner.cli import (
+    _add_matrix_arguments,
+    _add_scale_arguments,
+    _build_scale,
+    _select_single_preset,
+)
+from ..runner.events import CACHE_HIT, JOB_FINISH, RUN_FINISH, RUN_START
+from ..runner.specs import matrix_specs
+from .client import ServeClient, ServeClientError, ServeUnavailable
+from .jobs import ACTIVE_STATES, DEFAULT_TENANT, DONE
+from .server import ServeConfig, ServeDaemon
+
+
+def register(subparsers) -> None:
+    """Attach the ``serve`` verb tree to the main ``repro`` parser."""
+    serve = subparsers.add_parser(
+        "serve", help="long-running multi-tenant experiment service")
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    start = serve_sub.add_parser(
+        "start", help="run a serve daemon in the foreground")
+    start.add_argument("--state", type=Path, required=True,
+                       help="state directory (queue, cache, events, "
+                            "per-tenant results)")
+    start.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    start.add_argument("--port", type=int, default=0,
+                       help="bind port (default: 0 = ephemeral; the chosen "
+                            "port lands in <state>/server.json)")
+    start.add_argument("--fleet", type=int, default=2,
+                       help="worker threads multiplexing jobs (default: 2)")
+    start.add_argument("--job-workers", type=int, default=1,
+                       help="process-pool size inside each job "
+                            "(default: 1)")
+    start.add_argument("--job-executor", default="serial",
+                       choices=("serial", "pool"),
+                       help="execution tier each job runs under "
+                            "(default: serial — the fleet provides the "
+                            "concurrency)")
+    _add_scale_arguments(start)
+    start.set_defaults(handler=cmd_serve_start)
+
+    status = serve_sub.add_parser(
+        "status", help="queue depth, per-tenant in-flight, cache-hit rate")
+    _add_endpoint_arguments(status)
+    status.add_argument("--watch", action="store_true",
+                        help="keep polling (like `shard status --watch`)")
+    status.add_argument("--interval", type=float, default=2.0,
+                        help="poll interval in seconds for --watch "
+                             "(default: 2)")
+    status.add_argument("--until-idle", action="store_true",
+                        help="with --watch: exit 0 once nothing is queued "
+                             "or running")
+    status.set_defaults(handler=cmd_serve_status)
+
+    submit = serve_sub.add_parser(
+        "submit", help="submit one experiment as a service job")
+    submit.add_argument("experiment", nargs="?", metavar="EXPERIMENT",
+                        help="preset name (default: 'smoke' with --smoke)")
+    _add_matrix_arguments(submit)
+    submit.add_argument("--smoke", action="store_true",
+                        help="submit the CI smoke preset")
+    _add_endpoint_arguments(submit)
+    submit.add_argument("--tenant", default=DEFAULT_TENANT,
+                        help=f"tenant namespace for scheduling and results "
+                             f"(default: {DEFAULT_TENANT})")
+    submit.add_argument("--name", default=None,
+                        help="job name (default: the preset name)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority; higher runs first "
+                             "(default: 0)")
+    submit.add_argument("--wait", action="store_true",
+                        help="stream progress until the job is terminal")
+    submit.add_argument("--output", type=Path, default=None,
+                        help="with --wait: write the finished artifact here")
+    submit.set_defaults(handler=cmd_serve_submit)
+
+    watch = serve_sub.add_parser(
+        "watch", help="tail one job's event stream until it is terminal")
+    watch.add_argument("job", metavar="JOB", help="job id (e.g. j000001)")
+    _add_endpoint_arguments(watch)
+    watch.set_defaults(handler=cmd_serve_watch)
+
+    shutdown = serve_sub.add_parser(
+        "shutdown", help="stop the daemon (default: graceful drain)")
+    _add_endpoint_arguments(shutdown)
+    shutdown.add_argument("--no-drain", action="store_true",
+                          help="do not wait for in-flight runs before "
+                               "tearing the HTTP server down (jobs are "
+                               "still requeued, never lost)")
+    shutdown.set_defaults(handler=cmd_serve_shutdown)
+
+
+def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", default=None,
+                        help="daemon endpoint (e.g. http://127.0.0.1:8642)")
+    parser.add_argument("--state", type=Path, default=None,
+                        help="state directory of a running daemon (reads "
+                             "its server.json); alternative to --url")
+
+
+def _client(args: argparse.Namespace,
+            tenant: str = DEFAULT_TENANT) -> ServeClient:
+    if args.url:
+        return ServeClient(args.url, tenant=tenant)
+    if args.state:
+        return ServeClient.from_state_dir(args.state, tenant=tenant)
+    raise ServeUnavailable("give --url or --state to locate the daemon")
+
+
+def cmd_serve_start(args: argparse.Namespace) -> int:
+    config = ServeConfig(state_dir=args.state, host=args.host,
+                         port=args.port, fleet=args.fleet,
+                         job_workers=args.job_workers,
+                         job_executor=args.job_executor,
+                         scale=_build_scale(args))
+    try:
+        daemon = ServeDaemon(config).start()
+    except (RuntimeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"serve daemon listening at {daemon.url} "
+          f"(state {daemon.state_dir}, fleet {config.fleet}, "
+          f"{config.job_executor} jobs x{config.job_workers} workers)",
+          flush=True)
+
+    def _drain(_signum, _frame) -> None:
+        print("serve daemon draining: in-flight runs will finish and "
+              "persist; queued jobs resume on restart", file=sys.stderr,
+              flush=True)
+        daemon.request_shutdown(drain=True)
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    daemon.wait()
+    print("serve daemon stopped", flush=True)
+    return 0
+
+
+def _format_status_line(status: dict) -> str:
+    queue = status["queue"]
+    runs = status["runs"]
+    tenants = status["tenants"]
+    tenant_part = ", ".join(
+        f"{tenant}={counts['running']}r/{counts['queued']}q"
+        for tenant, counts in sorted(tenants.items())) or "idle"
+    return (f"serve {status['url']}: "
+            f"{queue['queued']} queued, {queue['running']} running, "
+            f"{queue['done']} done, {queue['failed']} failed, "
+            f"{queue['cancelled']} cancelled | "
+            f"runs {runs['runs_completed']} "
+            f"({runs['cache_hit_rate'] * 100.0:.0f}% cache hits, "
+            f"{runs['executions']} executions, "
+            f"{runs['deduped_jobs']} deduped) | "
+            f"tenants: {tenant_part}"
+            + (" | DRAINING" if status.get("draining") else ""))
+
+
+def cmd_serve_status(args: argparse.Namespace) -> int:
+    try:
+        client = _client(args)
+    except ServeUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not args.watch:
+        try:
+            status = client.status()
+        except (ServeUnavailable, ServeClientError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(_format_status_line(status))
+        idle = status["queue"]["queued"] == 0 \
+            and status["queue"]["running"] == 0
+        return 0 if idle else 3
+
+    # --watch: the `shard status --watch` idiom — one line per poll so an
+    # operator (or CI log) sees the queue advance, not just the end state.
+    while True:
+        try:
+            status = client.status()
+        except (ServeUnavailable, ServeClientError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(_format_status_line(status), flush=True)
+        if args.until_idle and status["queue"]["queued"] == 0 \
+                and status["queue"]["running"] == 0:
+            return 0
+        time.sleep(args.interval)
+
+
+def cmd_serve_submit(args: argparse.Namespace) -> int:
+    try:
+        preset = _select_single_preset(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    specs = matrix_specs(list(preset.platforms), list(preset.workloads))
+    try:
+        client = _client(args, tenant=args.tenant)
+        job = client.submit(specs, name=args.name or preset.name,
+                            priority=args.priority)
+    except (ServeUnavailable, ServeClientError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    dedup = (f" (deduped against {job['deduped_against']})"
+             if job.get("deduped_against") else "")
+    print(f"{job['id']}: submitted {job['name']} as tenant "
+          f"{job['tenant']} ({job['total']} runs, priority "
+          f"{job['priority']}){dedup}")
+    if not args.wait:
+        return 0
+    code = _watch_job(client, job["id"])
+    if code == 0 and args.output is not None:
+        atomic_write_json(args.output, client.result(job["id"]))
+        print(f"artifact -> {args.output}")
+    return code
+
+
+def _watch_job(client: ServeClient, job_id: str) -> int:
+    """Stream one job's events to stdout; exit code mirrors its state."""
+    try:
+        for event in client.watch(job_id):
+            if event.kind in (RUN_FINISH, CACHE_HIT):
+                hit = " (cached)" if event.cache_hit else ""
+                print(f"  {event.kind:9s} {event.platform_key}/"
+                      f"{event.workload_key} "
+                      f"{event.operations_per_second:,.0f} ops/s{hit}",
+                      flush=True)
+            elif event.kind == RUN_START:
+                print(f"  {event.kind:9s} {event.platform_key}/"
+                      f"{event.workload_key}", flush=True)
+            elif event.kind == JOB_FINISH and event.job == job_id:
+                print(f"  {event.kind:9s} state={event.state}", flush=True)
+        record = client.job(job_id)
+    except (ServeUnavailable, ServeClientError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    state = record["state"]
+    if state in ACTIVE_STATES:
+        # A drain/restart put the job back in the queue mid-watch; the
+        # stream ended but the job is alive — report, do not block forever.
+        print(f"{job_id}: still {state} (daemon restarted?); "
+              f"re-run `repro serve watch {job_id}`")
+        return 3
+    suffix = f": {record['error']}" if record.get("error") else ""
+    print(f"{job_id}: {state} ({record['completed']}/{record['total']} "
+          f"runs, {record['cache_hits']} cached){suffix}")
+    return 0 if state == DONE else 1
+
+
+def cmd_serve_watch(args: argparse.Namespace) -> int:
+    try:
+        client = _client(args)
+    except ServeUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return _watch_job(client, args.job)
+
+
+def cmd_serve_shutdown(args: argparse.Namespace) -> int:
+    try:
+        client = _client(args)
+        reply = client.shutdown(drain=not args.no_drain)
+    except (ServeUnavailable, ServeClientError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    mode = "draining" if reply.get("drain") else "stopping"
+    print(f"serve daemon {mode}")
+    return 0
