@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Trace-store I/O microbenchmark: write/read GB/s and replay parity cost.
+
+Measures the three rates that decide whether the out-of-core trace store
+(``repro.trace/1``, see ``src/repro/trace/``) is usable as the default
+substrate for large experiments, and records them as
+``results/BENCH_trace_io.json``:
+
+* **write** — ``build_trace_file`` end to end (generator synthesis +
+  chunked columnar encode + crc32 + fsync/rename), in accesses/sec and
+  GB/s of column bytes, for both compressions (``none`` / ``zlib``);
+  synthesis rides in the timed region deliberately — it is what a user
+  building a trace actually waits for,
+* **read** — draining every chunk through ``TraceReader.chunk_stream``
+  (the zero-copy
+  mmap path for uncompressed files, the chunk-at-a-time inflate path for
+  zlib), in accesses/sec and GB/s,
+* **replay** — ``Platform.run`` over the file-backed
+  :class:`~repro.trace.reader.FileAccessStream` versus the same trace held
+  in memory, on one analytic platform (``oracle``) and one stateful one
+  (``hams-TE``).  The two replays are bit-identical (see
+  ``tests/test_trace_store.py``); this records what the file indirection
+  costs in wall-clock terms.  The acceptance bar: file-backed replay keeps
+  >= ``MIN_REPLAY_RATIO`` of in-memory throughput on every row, i.e. the
+  store never becomes the bottleneck of an experiment.
+
+Runs standalone (``python benchmarks/bench_trace_io.py``) and as a
+pytest-benchmark test (``pytest benchmarks/bench_trace_io.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.config import default_config
+from repro.platforms.registry import create_platform
+from repro.trace.format import ACCESS_BYTES
+from repro.trace.reader import TraceReader, load_trace_file
+from repro.trace.writer import build_trace_file
+from repro.workloads.registry import (
+    ExperimentScale,
+    build_trace,
+    scale_system_config,
+)
+
+#: Schema tag of the JSON record this benchmark writes.
+TRACE_IO_BENCH_SCHEMA = "repro.bench-trace-io/1"
+
+#: The workload streamed through the store; ``update`` mixes reads and
+#: writes so all three columns carry entropy.
+WORKLOAD = "update"
+
+#: Default access count: large enough that mmap/decompress rates dominate
+#: constant costs, small enough for a CI leg (~17 MB uncompressed).
+DEFAULT_ACCESSES = 1_000_000
+
+#: (platform, label) replay rows: one analytic platform whose batched
+#: path is pure numpy (file I/O shows up most), one stateful DRAM-cache +
+#: flash platform (file I/O amortised behind simulation work).
+REPLAY_PLATFORMS = ("oracle", "hams-TE")
+
+#: File-backed replay must retain this fraction of in-memory throughput.
+MIN_REPLAY_RATIO = 0.5
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_trace_io.json"
+
+
+def _bench_scale(accesses: int) -> ExperimentScale:
+    """The library-default scale pinned to exactly *accesses* accesses."""
+    return ExperimentScale(min_accesses=accesses, max_accesses=accesses)
+
+
+def _write_rate(path: Path, accesses: int, compression: str,
+                repeats: int) -> Dict[str, float]:
+    """Best-of-*repeats* TraceWriter rate for one compression mode."""
+    scale = _bench_scale(accesses)
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        build_trace_file(WORKLOAD, path, scale=scale,
+                         compression=compression)
+        best = min(best, time.perf_counter() - started)
+    stored = path.stat().st_size
+    logical = accesses * ACCESS_BYTES
+    return {
+        "accesses": float(accesses),
+        "seconds": best,
+        "stored_bytes": float(stored),
+        "accesses_per_s": accesses / best,
+        "gb_per_s": logical / best / 1e9,
+        "stored_ratio": stored / logical,
+    }
+
+
+def _read_rate(path: Path, repeats: int) -> Dict[str, float]:
+    """Best-of-*repeats* rate of draining every chunk of the file."""
+    best = float("inf")
+    accesses = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        with TraceReader(path) as reader:
+            accesses = 0
+            for index in range(len(reader.footer["chunks"])):
+                stream = reader.chunk_stream(index)
+                accesses += len(stream)
+                # Reduce every column so the mmap pages actually fault in;
+                # without this the zero-copy path would time only the view
+                # construction, not the bytes.
+                stream.addresses.sum()
+                stream.sizes.sum()
+                stream.writes.sum()
+        best = min(best, time.perf_counter() - started)
+    logical = accesses * ACCESS_BYTES
+    return {
+        "accesses": float(accesses),
+        "seconds": best,
+        "accesses_per_s": accesses / best,
+        "gb_per_s": logical / best / 1e9,
+    }
+
+
+def _replay_rate(platform_name: str, trace, config,
+                 repeats: int) -> float:
+    """Accesses/sec of the fastest of *repeats* fresh-platform replays."""
+    best = float("inf")
+    for _ in range(repeats):
+        platform = create_platform(platform_name, config)
+        platform.prepare(trace)
+        started = time.perf_counter()
+        platform.run(trace)
+        best = min(best, time.perf_counter() - started)
+    return len(trace) / best
+
+
+def measure(accesses: int = DEFAULT_ACCESSES,
+            repeats: int = 3,
+            replay_accesses: Optional[int] = None,
+            directory: Optional[Path] = None) -> Dict[str, Dict]:
+    """Measure write, read and replay rates of the trace store.
+
+    Replay rows use *replay_accesses* (default: ``accesses // 10``) —
+    stateful platforms simulate orders of magnitude slower than the raw
+    store moves bytes, so the replay rows need fewer accesses to converge.
+    """
+    if replay_accesses is None:
+        replay_accesses = max(10_000, accesses // 10)
+    own_tmp = directory is None
+    tmp = tempfile.TemporaryDirectory(prefix="bench-trace-io-") \
+        if own_tmp else None
+    root = Path(tmp.name) if own_tmp else Path(directory)
+    try:
+        results: Dict[str, Dict] = {"io": {}, "replay": {}}
+        for compression in ("none", "zlib"):
+            path = root / f"bench-{compression}.trace"
+            row = {"write": _write_rate(path, accesses, compression,
+                                        repeats)}
+            row["read"] = _read_rate(path, repeats)
+            results["io"][compression] = row
+
+        replay_scale = _bench_scale(replay_accesses)
+        config = scale_system_config(default_config(), replay_scale)
+        replay_path = root / "bench-replay.trace"
+        build_trace_file(WORKLOAD, replay_path, scale=replay_scale)
+        memory_trace = build_trace(WORKLOAD, replay_scale)
+        file_trace = load_trace_file(replay_path)
+        for platform_name in REPLAY_PLATFORMS:
+            memory = _replay_rate(platform_name, memory_trace, config,
+                                  repeats)
+            file_backed = _replay_rate(platform_name, file_trace, config,
+                                       repeats)
+            results["replay"][platform_name] = {
+                "accesses": float(replay_accesses),
+                "memory_accesses_per_s": memory,
+                "file_accesses_per_s": file_backed,
+                "ratio": file_backed / memory,
+            }
+        return results
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def replay_ratios(results: Dict[str, Dict]) -> Dict[str, float]:
+    """The file-backed/in-memory throughput ratio per replay platform."""
+    return {platform: row["ratio"]
+            for platform, row in results["replay"].items()}
+
+
+def write_record(results: Dict[str, Dict], path: Path) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": TRACE_IO_BENCH_SCHEMA,
+        "figure": "trace_io",
+        "created_unix": time.time(),
+        "tables": results,
+    }
+    path.write_text(json.dumps(payload, sort_keys=True, indent=1),
+                    encoding="utf-8")
+    return path
+
+
+def _report(results: Dict[str, Dict]) -> str:
+    lines = [f"{'stage':24s} {'accesses/s':>14s} {'GB/s':>8s}"]
+    for compression, row in results["io"].items():
+        for stage in ("write", "read"):
+            rates = row[stage]
+            lines.append(f"{stage + ' (' + compression + ')':24s} "
+                         f"{rates['accesses_per_s']:14.0f} "
+                         f"{rates['gb_per_s']:8.3f}")
+    lines.append(f"{'replay':24s} {'memory/s':>14s} {'file/s':>14s} "
+                 f"{'ratio':>6s}")
+    for platform, row in results["replay"].items():
+        lines.append(f"{platform:24s} {row['memory_accesses_per_s']:14.0f} "
+                     f"{row['file_accesses_per_s']:14.0f} "
+                     f"{row['ratio']:6.2f}")
+    return "\n".join(lines)
+
+
+def test_trace_io(benchmark):
+    """pytest-benchmark wrapper; asserts the replay-retention bar."""
+    results = benchmark.pedantic(
+        measure, kwargs={"accesses": 200_000, "repeats": 1,
+                         "replay_accesses": 20_000},
+        rounds=1, iterations=1)
+    path = write_record(results, DEFAULT_OUTPUT)
+    print()
+    print(_report(results))
+    print(f"-> {path}")
+    for platform, ratio in replay_ratios(results).items():
+        assert ratio >= MIN_REPLAY_RATIO, (platform, ratio)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="trace-store write/read/replay throughput")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="JSON record path "
+                             "(default: results/BENCH_trace_io.json)")
+    parser.add_argument("--accesses", type=int, default=DEFAULT_ACCESSES,
+                        help="accesses streamed through the store "
+                             f"(default {DEFAULT_ACCESSES})")
+    parser.add_argument("--replay-accesses", type=int, default=None,
+                        help="accesses of the replay rows "
+                             "(default: --accesses / 10)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measurements per rate (best-of, default 3)")
+    args = parser.parse_args(argv)
+    results = measure(accesses=args.accesses, repeats=args.repeats,
+                      replay_accesses=args.replay_accesses)
+    print(_report(results))
+    print(f"-> {write_record(results, args.output)}")
+    ok = all(ratio >= MIN_REPLAY_RATIO
+             for ratio in replay_ratios(results).values())
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

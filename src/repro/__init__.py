@@ -64,6 +64,15 @@ from .workloads.registry import (
     scale_system_config,
 )
 from .workloads.trace import AccessStream, MemoryAccess, WorkloadTrace
+from .trace import (
+    FileAccessStream,
+    TraceReader,
+    TraceWriter,
+    build_trace_file,
+    import_binary,
+    import_csv,
+    load_trace_file,
+)
 
 __version__ = "1.0.0"
 
@@ -86,6 +95,13 @@ __all__ = [
     "AccessStream",
     "MemoryAccess",
     "WorkloadTrace",
+    "FileAccessStream",
+    "TraceReader",
+    "TraceWriter",
+    "build_trace_file",
+    "import_binary",
+    "import_csv",
+    "load_trace_file",
     "MemoryRequest",
     "MemoryRequestBatch",
     "MemoryServiceBatch",

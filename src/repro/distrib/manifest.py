@@ -79,7 +79,15 @@ def estimate_spec_cost(spec: RunSpec, scale: ExperimentScale) -> int:
     time is close to linear in trace length, while workloads differ by
     orders of magnitude in instruction count, which is exactly the skew
     count-balanced shards cannot see.
+
+    File-backed ``trace:<path>`` specs read the exact length from the
+    ``repro.trace/1`` footer (one cached stat + footer parse — still no
+    stream materialisation); the file fixes its accesses, so the scale's
+    clamps do not apply.
     """
+    if spec.workload.startswith("trace:"):
+        from ..trace.format import trace_source_path, trace_summary
+        return trace_summary(trace_source_path(spec.workload))["length"]
     workload = get_workload(spec.workload)
     scaled = scale.scaled_instructions(
         workload.characteristics.total_instructions)

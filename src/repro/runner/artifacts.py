@@ -137,11 +137,27 @@ def scale_from_dict(payload: Dict[str, Any]) -> ExperimentScale:
 
 def run_cache_key(spec: RunSpec, config: SystemConfig,
                   scale: ExperimentScale) -> str:
-    """Content address of one run: hash of everything that determines it."""
+    """Content address of one run: hash of everything that determines it.
+
+    ``trace:<path>`` workloads are normalised before hashing: a file whose
+    recorded provenance matches this run's scale and dataset override is
+    bit-identical to the in-memory build of its source workload, so the
+    key collapses to the plain workload name — the run cache, shard
+    manifests and ``repro serve`` dedup then treat file-backed and
+    in-memory submissions of the same workload as the same run.  Any other
+    trace file keys on its chunking-invariant content hash, never on its
+    path.
+    """
+    spec_payload = spec.canonical()
+    scale_payload = scale_to_dict(scale)
+    if spec.workload.startswith("trace:"):
+        from ..trace.format import trace_run_identity  # lazy: no cycle
+        spec_payload["workload"] = trace_run_identity(
+            spec.workload, scale_payload, spec.dataset_bytes_override)
     digest = hashlib.sha256(canonical_json({
         "schema": RUN_SCHEMA,
-        "spec": spec.canonical(),
-        "scale": scale_to_dict(scale),
+        "spec": spec_payload,
+        "scale": scale_payload,
         "config": config_to_dict(config),
     }).encode("utf-8"))
     return digest.hexdigest()

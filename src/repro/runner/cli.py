@@ -50,6 +50,15 @@ Subcommands
     submissions over HTTP/JSON, scheduling them priority-first with
     per-tenant fairness, deduping identical submissions against one
     execution, and streaming per-run progress as ``repro.events/1``.
+
+``trace build|import|info|verify``
+    The out-of-core trace store (see :mod:`repro.trace` and
+    :mod:`repro.trace.cli`): materialise registry workloads to
+    ``repro.trace/1`` files at any scale, ingest foreign CSV/binary
+    access logs, and inspect or integrity-check trace files.  A built or
+    imported file replays anywhere a workload name is accepted via
+    ``trace:<path>`` — e.g. ``repro run --platforms mmap --workloads
+    trace:seqRd.trace``.
 """
 
 from __future__ import annotations
@@ -105,7 +114,8 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--platforms", nargs="+", metavar="PLATFORM",
                         help="ad-hoc experiment: platform registry names")
     parser.add_argument("--workloads", nargs="+", metavar="WORKLOAD",
-                        help="ad-hoc experiment: Table III workload names")
+                        help="ad-hoc experiment: Table III workload names "
+                             "or trace:<path> trace files")
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
@@ -271,10 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 2)")
     status.set_defaults(handler=cmd_shard_status)
 
-    # Lazy: the serve verb tree lives with the service package, and this
-    # module must stay importable before repro.serve finishes loading.
+    # Lazy: the serve and trace verb trees live with their packages, and
+    # this module must stay importable before they finish loading.
     from ..serve.cli import register as register_serve
     register_serve(subparsers)
+    from ..trace.cli import register as register_trace
+    register_trace(subparsers)
 
     return parser
 

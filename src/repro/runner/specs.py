@@ -28,7 +28,10 @@ class RunSpec:
 
     ``label`` renames the platform axis of the experiment result — parameter
     sweeps run the same platform several times under different keys (e.g.
-    ``"4KB"`` ... ``"1024KB"`` for the page-size sweep).
+    ``"4KB"`` ... ``"1024KB"`` for the page-size sweep).  ``workload_label``
+    renames the workload axis the same way: file-backed ``trace:<path>``
+    workloads use it to report under the trace's recorded workload name, so
+    their rows line up with (and diff cleanly against) in-memory baselines.
     """
 
     platform: str
@@ -38,12 +41,14 @@ class RunSpec:
         default_factory=dict)
     platform_kwargs: Mapping[str, Any] = field(default_factory=dict)
     label: Optional[str] = None
+    workload_label: Optional[str] = None
 
     @property
     def result_key(self) -> Tuple[str, str]:
         """Key under which this run lands in an ``ExperimentResult``."""
         return (self.label if self.label is not None else self.platform,
-                self.workload)
+                self.workload_label if self.workload_label is not None
+                else self.workload)
 
     def canonical(self) -> Dict[str, Any]:
         """A deterministically ordered dict used for hashing and artifacts."""
@@ -61,13 +66,14 @@ class RunSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Full JSON form: the canonical payload plus the result-key label.
 
-        The label renames the experiment-result key but does not change what
-        is executed, so it stays out of :meth:`canonical` (and hence out of
-        the run-cache key) while shard manifests still need it to reproduce
-        the exact experiment layout.
+        The labels rename the experiment-result key but do not change what
+        is executed, so they stay out of :meth:`canonical` (and hence out of
+        the run-cache key) while shard manifests still need them to
+        reproduce the exact experiment layout.
         """
         payload = self.canonical()
         payload["label"] = self.label
+        payload["workload_label"] = self.workload_label
         return payload
 
     @staticmethod
@@ -84,6 +90,7 @@ class RunSpec:
             },
             platform_kwargs=dict(payload.get("platform_kwargs") or {}),
             label=payload.get("label"),
+            workload_label=payload.get("workload_label"),
         )
 
 
@@ -112,7 +119,32 @@ def matrix_specs(platform_names, workloads) -> list:
     Iteration order matches the serial ``ExperimentRunner.run_matrix`` loop
     (workloads outer, platforms inner) so serial and parallel executions
     enumerate — and therefore report — runs identically.
+
+    ``trace:<path>`` workloads are annotated with a ``workload_label``
+    taken from the trace file's recorded workload name (provenance first,
+    then footer metadata), so a file-backed run reports under the same
+    result key as the in-memory run it replays — which is what lets CI
+    threshold-diff a trace-smoke artifact against the committed baseline.
+    Unreadable or unnamed files simply keep the ``trace:`` key.
     """
-    return [RunSpec(platform=platform, workload=workload)
+    return [RunSpec(platform=platform, workload=workload,
+                    workload_label=_trace_workload_label(workload))
             for workload in workloads
             for platform in platform_names]
+
+
+def _trace_workload_label(workload: str) -> Optional[str]:
+    """The recorded workload name of a ``trace:`` source, if readable."""
+    if not workload.startswith("trace:"):
+        return None
+    from ..trace.format import (  # lazy: keeps spec import featherweight
+        TraceFormatError,
+        trace_source_path,
+        trace_summary,
+    )
+    try:
+        summary = trace_summary(trace_source_path(workload))
+    except TraceFormatError:
+        return None  # execution will surface the real error with context
+    provenance = summary.get("provenance") or {}
+    return provenance.get("workload") or summary["meta"].get("name")

@@ -1,0 +1,194 @@
+"""``python -m repro trace`` — build, import and inspect trace files.
+
+Verbs
+-----
+
+``trace build OUTPUT --workload NAME``
+    Materialise a registry workload to disk at any scale (the scale knobs
+    mirror ``repro run``; ``--accesses N`` pins the trace to exactly N
+    accesses).  The build streams chunk-wise through
+    :class:`~repro.trace.writer.TraceWriter`, so trace length is bounded
+    by disk, not RAM, and the file records provenance making
+    ``trace:OUTPUT`` submissions cache-key-identical to in-memory runs of
+    the same workload at the same scale.
+
+``trace import SOURCE OUTPUT --format {csv,addr64,records}``
+    Convert a foreign access log — CSV lines or binary address streams —
+    into a ``repro.trace/1`` file with bounded memory.
+
+``trace info PATH ...``
+    Print each file's footer summary: length, write fraction, address
+    range, chunking, compression ratio, content hash, provenance.
+
+``trace verify PATH ...``
+    Full integrity pass over each file: structure, every chunk checksum,
+    and the chunking-invariant content hash.  Exits non-zero on the first
+    corrupt file — what the CI trace leg runs after building.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+
+from .format import (
+    COMPRESSIONS,
+    TraceFormatError,
+    read_trace_footer,
+    summarize,
+    trace_source_name,
+)
+from .importers import BINARY_LAYOUTS, import_binary, import_csv
+from .reader import TraceReader
+from .writer import build_trace_file
+
+
+def register(subparsers) -> None:
+    """Attach the ``trace`` verb tree to the main ``repro`` parser."""
+    # Late import: runner.cli imports this module from build_parser(), so
+    # the scale-knob helpers must be looked up at registration time.
+    from ..runner.cli import _add_scale_arguments
+
+    trace = subparsers.add_parser(
+        "trace", help="build, import and inspect repro.trace/1 files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    build = trace_sub.add_parser(
+        "build", help="materialise a registry workload as a trace file")
+    build.add_argument("output", type=Path, metavar="OUTPUT",
+                       help="trace file to write")
+    build.add_argument("--workload", required=True, metavar="NAME",
+                       help="Table III workload name to materialise")
+    build.add_argument("--dataset-bytes", type=int, default=None,
+                       help="dataset size override (mirrors the "
+                            "dataset_bytes_override spec field)")
+    build.add_argument("--accesses", type=int, default=None,
+                       help="pin the trace to exactly N accesses "
+                            "(sets min=max accesses on the scale)")
+    _add_scale_arguments(build)
+    _add_output_arguments(build)
+    build.set_defaults(handler=cmd_trace_build)
+
+    imp = trace_sub.add_parser(
+        "import", help="convert a foreign access log into a trace file")
+    imp.add_argument("source", type=Path, metavar="SOURCE",
+                     help="file to ingest")
+    imp.add_argument("output", type=Path, metavar="OUTPUT",
+                     help="trace file to write")
+    imp.add_argument("--format", dest="source_format", required=True,
+                     choices=("csv",) + BINARY_LAYOUTS,
+                     help="source shape: csv (address[,size[,write]] "
+                          "lines), addr64 (flat LE u64 addresses) or "
+                          "records (packed u64,u64,u8 triples)")
+    imp.add_argument("--default-size", type=int, default=64,
+                     help="access size when the source has no size column "
+                          "(default: 64)")
+    imp.add_argument("--delimiter", default=",",
+                     help="CSV field delimiter (default: ',')")
+    imp.add_argument("--name", default=None,
+                     help="workload name recorded in the file "
+                          "(default: the source file's stem)")
+    _add_output_arguments(imp)
+    imp.set_defaults(handler=cmd_trace_import)
+
+    info = trace_sub.add_parser(
+        "info", help="print trace file footer summaries")
+    info.add_argument("paths", nargs="+", type=Path, metavar="PATH")
+    info.set_defaults(handler=cmd_trace_info)
+
+    verify = trace_sub.add_parser(
+        "verify", help="full integrity check (checksums + content hash)")
+    verify.add_argument("paths", nargs="+", type=Path, metavar="PATH")
+    verify.set_defaults(handler=cmd_trace_verify)
+
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--chunk-accesses", type=int, default=None,
+                        help="accesses per chunk record (default: 1Mi)")
+    parser.add_argument("--compression", choices=COMPRESSIONS,
+                        default="none",
+                        help="per-chunk compression (default: none; "
+                             "'none' files replay zero-copy via mmap)")
+
+
+def _writer_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {"compression": args.compression}
+    if args.chunk_accesses is not None:
+        kwargs["chunk_accesses"] = args.chunk_accesses
+    return kwargs
+
+
+def cmd_trace_build(args: argparse.Namespace) -> int:
+    from ..runner.cli import _build_scale
+
+    scale = _build_scale(args)
+    if args.accesses is not None:
+        scale = dataclasses.replace(scale, min_accesses=args.accesses,
+                                    max_accesses=args.accesses)
+    try:
+        path = build_trace_file(
+            args.workload, args.output, scale=scale,
+            dataset_bytes_override=args.dataset_bytes,
+            **_writer_kwargs(args))
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    footer = read_trace_footer(path)
+    print(f"{args.workload}: {footer['length']} accesses -> {path} "
+          f"({path.stat().st_size} bytes, {footer['compression']})")
+    print(f"replay it with workload name {trace_source_name(path)!r}")
+    return 0
+
+
+def cmd_trace_import(args: argparse.Namespace) -> int:
+    meta = {"name": args.name} if args.name else None
+    try:
+        if args.source_format == "csv":
+            path = import_csv(args.source, args.output,
+                              default_size=args.default_size,
+                              delimiter=args.delimiter, meta=meta,
+                              **_writer_kwargs(args))
+        else:
+            path = import_binary(args.source, args.output,
+                                 layout=args.source_format,
+                                 access_size=args.default_size, meta=meta,
+                                 **_writer_kwargs(args))
+    except (TraceFormatError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    footer = read_trace_footer(path)
+    print(f"{args.source}: imported {footer['length']} accesses -> {path} "
+          f"({path.stat().st_size} bytes, {footer['compression']})")
+    print(f"replay it with workload name {trace_source_name(path)!r}")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.paths:
+        print(f"== {path} ==")
+        try:
+            footer = read_trace_footer(path)
+        except TraceFormatError as error:
+            print(f"error: {error}", file=sys.stderr)
+            status = 1
+            continue
+        for line in summarize(footer):
+            print(f"  {line}")
+    return status
+
+
+def cmd_trace_verify(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.paths:
+        try:
+            with TraceReader(path) as reader:
+                content_hash = reader.verify()
+        except TraceFormatError as error:
+            print(f"{path}: FAIL ({error})", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{path}: ok ({content_hash})")
+    return status

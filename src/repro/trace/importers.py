@@ -1,0 +1,164 @@
+"""Streaming ingestion of foreign address traces into ``repro.trace/1``.
+
+Both importers parse their input in bounded blocks and feed a
+:class:`~repro.trace.writer.TraceWriter`, so a multi-billion-access source
+file converts with a working set of one chunk — the full trace is never
+held in memory, mirroring the trace-collection pipelines real-system
+replay studies use (collect once, replay many).
+
+Two source shapes cover the common cases:
+
+* **CSV** — one access per line, ``address[,size[,write]]``; addresses in
+  decimal or ``0x`` hex, a leading header row and ``#`` comments are
+  skipped, missing columns fall back to ``default_size`` / read.
+* **Binary** — either ``addr64`` (a flat little-endian u64 address
+  stream, the shape hardware trace dumps usually take) or ``records``
+  (packed little-endian ``u64 address, u64 size, u8 write`` triples,
+  17 bytes per access — the same bytes a ``repro.trace/1`` chunk stores).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, IO, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .format import DEFAULT_CHUNK_ACCESSES, TraceFormatError
+from .writer import TraceWriter
+
+#: Binary layouts understood by :func:`import_binary`.
+BINARY_LAYOUTS = ("addr64", "records")
+
+_RECORD_DTYPE = np.dtype([("address", "<u8"), ("size", "<u8"),
+                          ("write", "u1")])
+
+_TRUE_TOKENS = {"1", "true", "t", "w", "write", "y", "yes"}
+_FALSE_TOKENS = {"0", "false", "f", "r", "read", "n", "no", ""}
+
+
+def _parse_write(token: str, path: Path, line_number: int) -> bool:
+    token = token.strip().lower()
+    if token in _TRUE_TOKENS:
+        return True
+    if token in _FALSE_TOKENS:
+        return False
+    raise TraceFormatError(
+        f"{path}:{line_number}: unrecognised write flag {token!r}")
+
+
+def _csv_blocks(handle: IO[str], path: Path, delimiter: str,
+                default_size: int, block_accesses: int
+                ) -> Iterator[Tuple[List[int], List[int], List[bool]]]:
+    addresses: List[int] = []
+    sizes: List[int] = []
+    writes: List[bool] = []
+    saw_data = False
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = [field.strip() for field in line.split(delimiter)]
+        try:
+            address = int(fields[0], 0)
+        except ValueError:
+            if not saw_data:
+                # A non-numeric first row is a header; anything later is
+                # corrupt data.
+                continue
+            raise TraceFormatError(
+                f"{path}:{line_number}: bad address {fields[0]!r}")
+        saw_data = True
+        try:
+            size = int(fields[1], 0) if len(fields) > 1 and fields[1] \
+                else default_size
+        except ValueError:
+            raise TraceFormatError(
+                f"{path}:{line_number}: bad size {fields[1]!r}")
+        write = (_parse_write(fields[2], path, line_number)
+                 if len(fields) > 2 else False)
+        addresses.append(address)
+        sizes.append(size)
+        writes.append(write)
+        if len(addresses) >= block_accesses:
+            yield addresses, sizes, writes
+            addresses, sizes, writes = [], [], []
+    if addresses:
+        yield addresses, sizes, writes
+
+
+def import_csv(source: Union[str, Path], dest: Union[str, Path], *,
+               default_size: int = 64,
+               delimiter: str = ",",
+               chunk_accesses: int = DEFAULT_CHUNK_ACCESSES,
+               compression: Optional[str] = None,
+               meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Convert a CSV access log into a ``repro.trace/1`` file."""
+    source = Path(source)
+    file_meta = {"name": source.stem, "suite": "imported"}
+    file_meta.update(meta or {})
+    with TraceWriter(dest, chunk_accesses=chunk_accesses,
+                     compression=compression, meta=file_meta) as writer:
+        with open(source, "r", encoding="utf-8") as handle:
+            for addresses, sizes, writes in _csv_blocks(
+                    handle, source, delimiter, default_size,
+                    chunk_accesses):
+                writer.append_arrays(
+                    np.asarray(addresses, dtype=np.int64),
+                    np.asarray(sizes, dtype=np.int64),
+                    np.asarray(writes, dtype=bool))
+    return writer.path
+
+
+def _checked_int64(values: np.ndarray, what: str, source: Path) -> np.ndarray:
+    if len(values) and int(values.max()) > np.iinfo(np.int64).max:
+        raise TraceFormatError(
+            f"{source}: {what} exceeds the int64 address space")
+    return values.astype(np.int64)
+
+
+def import_binary(source: Union[str, Path], dest: Union[str, Path], *,
+                  layout: str = "addr64",
+                  access_size: int = 64,
+                  chunk_accesses: int = DEFAULT_CHUNK_ACCESSES,
+                  compression: Optional[str] = None,
+                  meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Convert a binary address stream into a ``repro.trace/1`` file.
+
+    ``layout="addr64"`` reads flat little-endian u64 byte addresses (every
+    access becomes an ``access_size``-byte read); ``layout="records"``
+    reads packed 17-byte ``(u64 address, u64 size, u8 write)`` triples.
+    A trailing partial record means a truncated dump and is rejected.
+    """
+    if layout not in BINARY_LAYOUTS:
+        raise ValueError(f"unknown binary layout {layout!r}; expected one "
+                         f"of {BINARY_LAYOUTS}")
+    source = Path(source)
+    dtype = np.dtype("<u8") if layout == "addr64" else _RECORD_DTYPE
+    file_meta = {"name": source.stem, "suite": "imported"}
+    file_meta.update(meta or {})
+    block_bytes = chunk_accesses * dtype.itemsize
+    with TraceWriter(dest, chunk_accesses=chunk_accesses,
+                     compression=compression, meta=file_meta) as writer:
+        with open(source, "rb") as handle:
+            while True:
+                block = handle.read(block_bytes)
+                if not block:
+                    break
+                if len(block) % dtype.itemsize:
+                    raise TraceFormatError(
+                        f"{source}: truncated {layout} stream "
+                        f"({len(block) % dtype.itemsize} trailing bytes)")
+                records = np.frombuffer(block, dtype=dtype)
+                if layout == "addr64":
+                    addresses = _checked_int64(records, "address", source)
+                    writer.append_arrays(
+                        addresses, access_size,
+                        np.zeros(len(addresses), dtype=bool))
+                else:
+                    writer.append_arrays(
+                        _checked_int64(records["address"], "address",
+                                       source),
+                        _checked_int64(records["size"], "size", source),
+                        records["write"].astype(bool))
+    return writer.path

@@ -23,6 +23,10 @@ import numpy as np
 
 from .trace import AccessStream
 
+#: Default accesses per block for the chunk-wise emission path; matches
+#: the trace store's chunk size so disk builds flush whole chunks.
+DEFAULT_STREAM_CHUNK = 1 << 20
+
 
 class AccessPatternGenerator(abc.ABC):
     """Produces a stream of byte addresses within ``[0, dataset_bytes)``."""
@@ -59,6 +63,43 @@ class AccessPatternGenerator(abc.ABC):
         writes = write_rng.random(count) < write_fraction
         return AccessStream.from_arrays(addresses, self.access_size, writes)
 
+    def iter_addresses(self, count: int,
+                       chunk_accesses: int) -> Iterator[np.ndarray]:
+        """Yield :meth:`addresses`\\ (count) in order, in bounded blocks.
+
+        Contract: concatenating the blocks is bit-equal to a fresh
+        generator's one-shot ``addresses(count)`` for *every* block size —
+        subclasses consume ``self.rng`` in exactly the one-shot draw
+        order, so disk builds that stream through here produce the same
+        trace the in-memory path does.  The base implementation is the
+        conservative fallback (one block) for exotic subclasses; every
+        registry pattern overrides it with a genuinely streaming walk.
+        """
+        yield self.addresses(count)
+
+    def stream_chunks(self, count: int, write_fraction: float = 0.0,
+                      write_rng: Optional[np.random.Generator] = None,
+                      chunk_accesses: int = DEFAULT_STREAM_CHUNK
+                      ) -> Iterator[AccessStream]:
+        """Yield :meth:`stream` as bounded chunks, bit-identically.
+
+        Concatenating the yielded chunks equals ``stream(count,
+        write_fraction)`` from a fresh generator: both the address draws
+        (:meth:`iter_addresses`) and the write mask consume their RNGs
+        value-by-value, so splitting the draws never changes them.  This
+        is what lets :func:`repro.trace.writer.build_trace_file`
+        materialise any workload to disk without holding the trace.
+        """
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if chunk_accesses <= 0:
+            raise ValueError("chunk_accesses must be positive")
+        if write_rng is None:
+            write_rng = np.random.default_rng(self.seed + 1000)
+        for block in self.iter_addresses(count, chunk_accesses):
+            writes = write_rng.random(len(block)) < write_fraction
+            yield AccessStream.from_arrays(block, self.access_size, writes)
+
     @property
     def slots(self) -> int:
         """Number of non-overlapping access slots in the dataset."""
@@ -80,6 +121,14 @@ class SequentialPattern(AccessPatternGenerator):
         slots = (np.arange(count, dtype=np.int64) + self.start_slot) % self.slots
         return self._slots_to_addresses(slots)
 
+    def iter_addresses(self, count: int,
+                       chunk_accesses: int) -> Iterator[np.ndarray]:
+        for start in range(0, count, chunk_accesses):
+            stop = min(start + chunk_accesses, count)
+            slots = (np.arange(start, stop, dtype=np.int64)
+                     + self.start_slot) % self.slots
+            yield self._slots_to_addresses(slots)
+
 
 class RandomPattern(AccessPatternGenerator):
     """Uniformly random accesses across the whole dataset."""
@@ -87,6 +136,16 @@ class RandomPattern(AccessPatternGenerator):
     def addresses(self, count: int) -> np.ndarray:
         slots = self.rng.integers(0, self.slots, size=count, dtype=np.int64)
         return self._slots_to_addresses(slots)
+
+    def iter_addresses(self, count: int,
+                       chunk_accesses: int) -> Iterator[np.ndarray]:
+        # PCG64 fills element-wise, so chunked integer draws concatenate
+        # bit-equal to the one-shot draw.
+        for start in range(0, count, chunk_accesses):
+            size = min(chunk_accesses, count - start)
+            slots = self.rng.integers(0, self.slots, size=size,
+                                      dtype=np.int64)
+            yield self._slots_to_addresses(slots)
 
 
 class ZipfianPattern(AccessPatternGenerator):
@@ -121,6 +180,25 @@ class ZipfianPattern(AccessPatternGenerator):
         slots = self._rank_to_slot(ranks.astype(np.int64))
         slots = expand_runs(slots, self.run_length, self.slots)[:count]
         return self._slots_to_addresses(slots)
+
+    def iter_addresses(self, count: int,
+                       chunk_accesses: int) -> Iterator[np.ndarray]:
+        # The zipf sampler rejects per value, so chunked draws consume the
+        # bitstream exactly like the one-shot draw; run expansion and the
+        # final truncation are per-start, so they split cleanly too.
+        starts_total = -(-count // self.run_length)
+        starts_per_block = max(1, chunk_accesses // self.run_length)
+        drawn = 0
+        emitted = 0
+        while drawn < starts_total:
+            block = min(starts_per_block, starts_total - drawn)
+            ranks = self.rng.zipf(self.theta, size=block) - 1
+            slots = self._rank_to_slot(ranks.astype(np.int64))
+            expanded = expand_runs(slots, self.run_length, self.slots)
+            take = min(len(expanded), count - emitted)
+            yield self._slots_to_addresses(expanded[:take])
+            drawn += block
+            emitted += take
 
 
 class HotspotPattern(AccessPatternGenerator):
@@ -158,6 +236,28 @@ class HotspotPattern(AccessPatternGenerator):
         slots = expand_runs(chosen, self.run_length, self.slots)[:count]
         return self._slots_to_addresses(slots)
 
+    def iter_addresses(self, count: int,
+                       chunk_accesses: int) -> Iterator[np.ndarray]:
+        # The one-shot draw order is grouped — ALL hot/cold coin flips,
+        # then ALL hot positions, then ALL cold positions — so matching it
+        # bit-for-bit requires materialising the start-space columns up
+        # front: O(count / run_length) int64s, not the expanded stream.
+        # Only the run expansion streams.
+        hot_slots = max(1, int(self.slots * self.hot_fraction))
+        starts = -(-count // self.run_length)  # ceil division
+        is_hot = self.rng.random(starts) < self.hot_probability
+        hot = self.rng.integers(0, hot_slots, size=starts, dtype=np.int64)
+        cold = self.rng.integers(0, self.slots, size=starts, dtype=np.int64)
+        chosen = np.where(is_hot, hot, cold)
+        starts_per_block = max(1, chunk_accesses // self.run_length)
+        emitted = 0
+        for index in range(0, starts, starts_per_block):
+            expanded = expand_runs(chosen[index:index + starts_per_block],
+                                   self.run_length, self.slots)
+            take = min(len(expanded), count - emitted)
+            yield self._slots_to_addresses(expanded[:take])
+            emitted += take
+
 
 class StridedPattern(AccessPatternGenerator):
     """A constant-stride walk (in units of access slots), wrapping around."""
@@ -172,6 +272,14 @@ class StridedPattern(AccessPatternGenerator):
     def addresses(self, count: int) -> np.ndarray:
         slots = (np.arange(count, dtype=np.int64) * self.stride_slots) % self.slots
         return self._slots_to_addresses(slots)
+
+    def iter_addresses(self, count: int,
+                       chunk_accesses: int) -> Iterator[np.ndarray]:
+        for start in range(0, count, chunk_accesses):
+            stop = min(start + chunk_accesses, count)
+            slots = (np.arange(start, stop, dtype=np.int64)
+                     * self.stride_slots) % self.slots
+            yield self._slots_to_addresses(slots)
 
 
 def expand_runs(start_slots: np.ndarray, run_length: int,

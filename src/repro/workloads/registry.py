@@ -210,13 +210,47 @@ def _pattern_generator(spec: WorkloadSpec, dataset_bytes: int,
     raise ValueError(f"unknown access pattern {spec.pattern!r}")
 
 
-def build_trace(name: str, scale: Optional[ExperimentScale] = None,
-                dataset_bytes_override: Optional[int] = None) -> WorkloadTrace:
-    """Synthesise the trace for workload *name* under the given scale.
+@dataclass(frozen=True)
+class TracePlan:
+    """Everything needed to emit one workload's trace, without the trace.
 
-    ``dataset_bytes_override`` (already scaled) supports the Figure 20b
-    stress test, which grows the footprint to 44 GB at paper scale.
+    The in-memory path (:func:`build_trace`) and the disk path
+    (:func:`repro.trace.writer.build_trace_file`) both start from the same
+    plan, which is what keeps them bit-identical: same generator, same
+    access count, same write RNG seeding.
     """
+
+    spec: WorkloadSpec
+    generator: AccessPatternGenerator
+    access_count: int
+    write_fraction: float
+    dataset_bytes: int
+    scaled_instructions: int
+    seed: int
+
+    def write_rng(self):
+        """The write-mask generator ``build_trace`` seeds (seed + 1000)."""
+        import numpy as np
+        return np.random.default_rng(self.seed + 1000)
+
+    @property
+    def meta(self) -> dict:
+        """The :class:`~repro.workloads.trace.WorkloadTrace` metadata."""
+        return {
+            "name": self.spec.name,
+            "suite": self.spec.suite,
+            "dataset_bytes": self.dataset_bytes,
+            "compute_instructions_per_access":
+                self.spec.compute_instructions_per_access,
+            "accesses_per_operation": self.spec.accesses_per_operation,
+            "operation_unit": self.spec.operation_unit,
+            "total_instructions": self.scaled_instructions,
+        }
+
+
+def trace_plan(name: str, scale: Optional[ExperimentScale] = None,
+               dataset_bytes_override: Optional[int] = None) -> TracePlan:
+    """Resolve workload *name* at *scale* into a ready-to-emit plan."""
     scale = scale if scale is not None else ExperimentScale()
     spec = get_workload(name)
     characteristics = spec.characteristics
@@ -230,24 +264,42 @@ def build_trace(name: str, scale: Optional[ExperimentScale] = None,
     raw_accesses = int(scaled_instructions
                        / (1.0 + spec.compute_instructions_per_access))
     access_count = min(scale.max_accesses, max(scale.min_accesses, raw_accesses))
+    generator = _pattern_generator(spec, dataset_bytes, scale.seed)
+    return TracePlan(spec=spec, generator=generator,
+                     access_count=access_count,
+                     write_fraction=spec.write_fraction,
+                     dataset_bytes=dataset_bytes,
+                     scaled_instructions=scaled_instructions,
+                     seed=scale.seed)
 
-    import numpy as np
 
+def build_trace(name: str, scale: Optional[ExperimentScale] = None,
+                dataset_bytes_override: Optional[int] = None) -> WorkloadTrace:
+    """Synthesise the trace for workload *name* under the given scale.
+
+    ``dataset_bytes_override`` (already scaled) supports the Figure 20b
+    stress test, which grows the footprint to 44 GB at paper scale.
+
+    A ``trace:<path>`` name replays a ``repro.trace/1`` file instead of a
+    Table III generator: the returned trace is file-backed (its stream
+    reads chunk-at-a-time off disk, see :mod:`repro.trace`), *scale* is
+    ignored — the file already fixes the accesses — and the override still
+    applies on top of the file's recorded dataset size.  Every execution
+    tier reaches traces through this function, so ``trace:`` workloads
+    work unchanged on the serial, pool, sharded and serve paths.
+    """
+    if name.startswith("trace:"):
+        # Lazy: repro.trace imports from this package.
+        from ..trace.format import trace_source_path
+        from ..trace.reader import load_trace_file
+        return load_trace_file(trace_source_path(name),
+                               dataset_bytes_override=dataset_bytes_override)
+    plan = trace_plan(name, scale, dataset_bytes_override)
     # The stream is built columnar end-to-end: generator addresses and the
     # write mask stay numpy arrays, no per-access record objects exist.
-    generator = _pattern_generator(spec, dataset_bytes, scale.seed)
-    stream = generator.stream(access_count, spec.write_fraction,
-                              np.random.default_rng(scale.seed + 1000))
-    return WorkloadTrace(
-        name=spec.name,
-        suite=spec.suite,
-        accesses=stream,
-        dataset_bytes=dataset_bytes,
-        compute_instructions_per_access=spec.compute_instructions_per_access,
-        accesses_per_operation=spec.accesses_per_operation,
-        operation_unit=spec.operation_unit,
-        total_instructions=scaled_instructions,
-    )
+    stream = plan.generator.stream(plan.access_count, plan.write_fraction,
+                                   plan.write_rng())
+    return WorkloadTrace(accesses=stream, **plan.meta)
 
 
 @dataclass(frozen=True)
