@@ -73,6 +73,13 @@ from .trace import (
     import_csv,
     load_trace_file,
 )
+from .scenario import (
+    ScenarioSpec,
+    TenantSpec,
+    build_mixed_trace,
+    run_scenario,
+    scenario_run_spec,
+)
 
 __version__ = "1.0.0"
 
@@ -102,6 +109,11 @@ __all__ = [
     "import_binary",
     "import_csv",
     "load_trace_file",
+    "ScenarioSpec",
+    "TenantSpec",
+    "build_mixed_trace",
+    "run_scenario",
+    "scenario_run_spec",
     "MemoryRequest",
     "MemoryRequestBatch",
     "MemoryServiceBatch",

@@ -175,6 +175,34 @@ class Session:
             config_overrides=dict(config_overrides or {}),
             platform_kwargs=dict(platform_kwargs or {})))
 
+    def scenario(self, scenario: "ScenarioSpec", platform: str, *,
+                 label: Optional[str] = None,
+                 config_overrides: Optional[Mapping[str, Mapping[str, Any]]]
+                 = None,
+                 platform_kwargs: Optional[Mapping[str, Any]] = None
+                 ) -> RunResult:
+        """Replay a multi-tenant scenario on one platform.
+
+        *scenario* is a :class:`~repro.scenario.spec.ScenarioSpec` (or a
+        plain dict in its ``from_dict`` shape): N tenants whose access
+        streams are deterministically interleaved into one shared-system
+        trace, replayed under the spec's QoS policy.  The returned
+        :class:`~repro.platforms.base.RunResult` carries per-tenant
+        statistics in ``result.tenants`` (one entry per tenant plus the
+        ``"aggregate"`` merge); every other field describes the mixed run
+        exactly as :meth:`simulate` would.  Scenario runs flow through the
+        same executor tiers and content-addressed run cache as plain specs.
+        """
+        from .scenario.engine import scenario_run_spec
+        from .scenario.spec import ScenarioSpec
+
+        if isinstance(scenario, Mapping):
+            scenario = ScenarioSpec.from_dict(scenario)
+        return self._runner.run_spec(scenario_run_spec(
+            scenario, platform, label=label,
+            config_overrides=config_overrides,
+            platform_kwargs=platform_kwargs))
+
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Execute explicit run specs, preserving input order."""
         return self._runner.run_specs(specs)

@@ -83,11 +83,17 @@ def estimate_spec_cost(spec: RunSpec, scale: ExperimentScale) -> int:
     File-backed ``trace:<path>`` specs read the exact length from the
     ``repro.trace/1`` footer (one cached stat + footer parse — still no
     stream materialisation); the file fixes its accesses, so the scale's
-    clamps do not apply.
+    clamps do not apply.  ``scenario:`` specs cost the sum of their tenant
+    stream lengths — exact too (registry tenants reuse this arithmetic,
+    trace-file tenants their footers), so cost-balanced shard planning
+    sees a 3-tenant mix as 3x the work it really is.
     """
     if spec.workload.startswith("trace:"):
         from ..trace.format import trace_source_path, trace_summary
         return trace_summary(trace_source_path(spec.workload))["length"]
+    if spec.workload.startswith("scenario:"):
+        from ..scenario.spec import scenario_spec_length
+        return scenario_spec_length(spec.workload, scale)
     workload = get_workload(spec.workload)
     scaled = scale.scaled_instructions(
         workload.characteristics.total_instructions)

@@ -74,6 +74,51 @@ class PageCache:
         self.hits = 0
         self.misses = 0
         self.dirty_writebacks = 0
+        # Tenant attribution is strictly opt-in (scenario runs): until
+        # enable_tenant_tracking() flips the flag, the only cost on the
+        # default path is one boolean test per install.
+        self._track_tenants = False
+        self._install_tenant: Optional[int] = None
+        self._owners: Dict[int, int] = {}
+        self._tenant_hits: Optional[np.ndarray] = None
+        self._tenant_misses: Optional[np.ndarray] = None
+        self._evictions_suffered: Optional[np.ndarray] = None
+        self._evictions_inflicted: Optional[np.ndarray] = None
+
+    def enable_tenant_tracking(self, tenant_count: int) -> None:
+        """Turn on per-tenant attribution for *tenant_count* tenants.
+
+        Afterwards :meth:`access_batch` calls that carry a ``tenants``
+        column split hits/misses per tenant and :meth:`install` records
+        page ownership, counting cross-tenant evictions (pollution) both
+        ways — suffered by the victim's owner, inflicted by the installer.
+        The walk itself — residency, LRU order, eviction sequence,
+        aggregate counters — is unchanged.
+        """
+        if tenant_count <= 0:
+            raise ValueError("tenant count must be positive")
+        self._track_tenants = True
+        self._owners = {}
+        self._tenant_hits = np.zeros(tenant_count, dtype=np.int64)
+        self._tenant_misses = np.zeros(tenant_count, dtype=np.int64)
+        self._evictions_suffered = np.zeros(tenant_count, dtype=np.int64)
+        self._evictions_inflicted = np.zeros(tenant_count, dtype=np.int64)
+
+    def tenant_statistics(self) -> Dict[int, Dict[str, int]]:
+        """Per-tenant cache counters (empty unless tracking is enabled)."""
+        if not self._track_tenants:
+            return {}
+        return {
+            tenant: {
+                "cache_hits": int(self._tenant_hits[tenant]),
+                "cache_misses": int(self._tenant_misses[tenant]),
+                "evictions_suffered": int(
+                    self._evictions_suffered[tenant]),
+                "evictions_inflicted": int(
+                    self._evictions_inflicted[tenant]),
+            }
+            for tenant in range(len(self._tenant_hits))
+        }
 
     def __contains__(self, page_number: int) -> bool:
         return page_number in self._pages
@@ -113,10 +158,21 @@ class PageCache:
                 self.dirty_writebacks += 1
             evicted = (victim, victim_dirty)
         self._pages[page_number] = dirty
+        if self._track_tenants:
+            installer = self._install_tenant
+            if evicted is not None:
+                victim_owner = self._owners.pop(evicted[0], None)
+                if (victim_owner is not None and installer is not None
+                        and victim_owner != installer):
+                    self._evictions_suffered[victim_owner] += 1
+                    self._evictions_inflicted[installer] += 1
+            if installer is not None:
+                self._owners[page_number] = installer
         return evicted
 
     def access_batch(self, pages, writes,
-                     install: Optional[InstallPolicy] = None
+                     install: Optional[InstallPolicy] = None,
+                     tenants: Optional[np.ndarray] = None
                      ) -> PageCacheBatchResult:
         """Replay a whole access column through the LRU, order-exactly.
 
@@ -143,6 +199,11 @@ class PageCache:
         a zero-capacity cache, or a chunk install whose own tail evicts the
         faulting page again — fall out of the collapse and keep missing,
         exactly as the scalar loop would.
+
+        *tenants* (an int column parallel to *pages*) is only consulted
+        when :meth:`enable_tenant_tracking` is on: it attributes each
+        hit/miss to its tenant and tags installs with the faulting tenant
+        for ownership/pollution accounting.  It never alters the walk.
         """
         pages = np.ascontiguousarray(pages, dtype=np.int64)
         writes = np.asarray(writes, dtype=bool)
@@ -175,23 +236,50 @@ class PageCache:
 
         residency = self._pages
         move_to_end = residency.move_to_end
-        for start, end, page in zip(starts_list, ends_list, run_pages):
-            index = start
-            while index < end and page not in residency:
-                miss_positions.append(index)
-                evictions.append(install(page, writes_list[index]))
-                index += 1
-            if index < end:
-                # The rest of the run is guaranteed hits: one MRU move and
-                # one dirty-flag update stand in for each scalar touch.
-                move_to_end(page)
-                if write_prefix[end] > write_prefix[index]:
-                    residency[page] = True
+        attribute = self._track_tenants and tenants is not None
+        if attribute:
+            tenant_column = np.ascontiguousarray(tenants, dtype=np.int64)
+            if len(tenant_column) != count:
+                raise ValueError("tenants column must match the batch")
+            tenants_list = tenant_column.tolist()
+            for start, end, page in zip(starts_list, ends_list, run_pages):
+                index = start
+                while index < end and page not in residency:
+                    miss_positions.append(index)
+                    self._install_tenant = tenants_list[index]
+                    evictions.append(install(page, writes_list[index]))
+                    index += 1
+                if index < end:
+                    move_to_end(page)
+                    if write_prefix[end] > write_prefix[index]:
+                        residency[page] = True
+            self._install_tenant = None
+        else:
+            for start, end, page in zip(starts_list, ends_list, run_pages):
+                index = start
+                while index < end and page not in residency:
+                    miss_positions.append(index)
+                    evictions.append(install(page, writes_list[index]))
+                    index += 1
+                if index < end:
+                    # The rest of the run is guaranteed hits: one MRU move
+                    # and one dirty-flag update stand in for each scalar
+                    # touch.
+                    move_to_end(page)
+                    if write_prefix[end] > write_prefix[index]:
+                        residency[page] = True
         miss_count = len(miss_positions)
         miss_indices = np.asarray(miss_positions, dtype=np.int64)
         hits[miss_indices] = False
         self.hits += count - miss_count
         self.misses += miss_count
+        if attribute:
+            width = len(self._tenant_hits)
+            missed = np.bincount(tenant_column[miss_indices],
+                                 minlength=width)
+            touched = np.bincount(tenant_column, minlength=width)
+            self._tenant_misses += missed
+            self._tenant_hits += touched - missed
         return PageCacheBatchResult(hits=hits, miss_indices=miss_indices,
                                     evictions=evictions)
 

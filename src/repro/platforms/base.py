@@ -113,15 +113,22 @@ class MemoryRequestBatch:
     The optional :class:`BatchTimeline` lets :meth:`service_sequentially`
     reproduce the scalar replay loop's per-request issue times exactly;
     without it, requests are assumed back-to-back from ``start_ns``.
+
+    ``tenant_ids`` is an optional int64 column tagging each request with
+    the scenario tenant that issued it.  It is ``None`` for every
+    non-scenario run; when present, the DRAM-cache platforms forward it to
+    their page-cache walk for per-tenant attribution and partitioned-cache
+    routing.  It never affects timing.
     """
 
     __slots__ = ("addresses", "sizes", "writes", "on_chip_ns", "start_ns",
-                 "timeline")
+                 "timeline", "tenant_ids")
 
     def __init__(self, addresses: np.ndarray, sizes: np.ndarray,
                  writes: np.ndarray, on_chip_ns: Optional[np.ndarray] = None,
                  start_ns: float = 0.0,
-                 timeline: Optional[BatchTimeline] = None) -> None:
+                 timeline: Optional[BatchTimeline] = None,
+                 tenant_ids: Optional[np.ndarray] = None) -> None:
         self.addresses = np.asarray(addresses, dtype=np.int64)
         self.sizes = np.asarray(sizes, dtype=np.int64)
         self.writes = np.asarray(writes, dtype=bool)
@@ -130,6 +137,11 @@ class MemoryRequestBatch:
         self.on_chip_ns = np.asarray(on_chip_ns, dtype=np.float64)
         self.start_ns = start_ns
         self.timeline = timeline
+        if tenant_ids is not None:
+            tenant_ids = np.asarray(tenant_ids, dtype=np.int64)
+            if len(tenant_ids) != len(self.addresses):
+                raise ValueError("tenant_ids must match the batch length")
+        self.tenant_ids = tenant_ids
         if not (len(self.addresses) == len(self.sizes) == len(self.writes)
                 == len(self.on_chip_ns)):
             raise ValueError("batch columns must be equal-length")
@@ -321,6 +333,12 @@ class RunResult:
     energy: EnergyBreakdown
     memory_delay: Dict[str, float] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Per-tenant statistics of a scenario run ({tenant name: snapshot}),
+    #: plus an "aggregate" entry that is the exact merge of the tenant
+    #: registries.  Empty for every non-scenario run — and deliberately
+    #: kept out of ``extras`` so the scalar==batched golden comparisons
+    #: and existing baselines are untouched.
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def operations_per_second(self) -> float:
@@ -409,19 +427,42 @@ class Platform(abc.ABC):
 
     # -- the shared replay loop -------------------------------------------------------
 
+    def page_caches(self) -> list:
+        """Attribute names of this platform's partitionable page caches.
+
+        The scenario engine uses this to install per-tenant cache
+        partitions and to harvest per-tenant hit/miss/pollution counters.
+        Platforms whose datapath includes an LRU :class:`~repro.host.
+        os_stack.PageCache` (NVDIMM-C, Optane memory mode, the buffered
+        ULL bypass) override it; the default — no partitionable cache —
+        is correct for everything else.
+        """
+        return []
+
     def run(self, trace: WorkloadTrace, *,
-            execution: Optional[str] = None) -> RunResult:
+            execution: Optional[str] = None,
+            observer: Optional[object] = None) -> RunResult:
         """Replay *trace* and return the full measurement record.
 
         ``execution`` selects the replay strategy: ``"batched"`` (the
         default) or ``"scalar"``.  Both produce bit-identical results; the
         scalar loop exists as the reference implementation and for the
         equivalence tests and throughput benchmarks that compare the two.
+
+        ``observer``, when given, receives ``on_chunk(chunk, stall_ns,
+        miss_indices, service)`` after each replayed chunk — the chunk's
+        per-access memory-stall addends, its off-chip positions and the
+        resolved :class:`MemoryServiceBatch` (``None`` when the chunk had
+        no misses).  Observation is read-only and batched-only; the
+        scenario engine rides it for per-tenant attribution.
         """
         mode = execution if execution is not None else self.replay_mode
         if mode == "batched":
-            return self._run_batched(trace)
+            return self._run_batched(trace, observer=observer)
         if mode == "scalar":
+            if observer is not None:
+                raise ValueError(
+                    "replay observers require the batched execution mode")
             return self._run_scalar(trace)
         raise ValueError(f"unknown execution mode {mode!r}; "
                          f"expected 'batched' or 'scalar'")
@@ -468,7 +509,8 @@ class Platform(abc.ABC):
 
         return self._build_result(trace, now, offchip)
 
-    def _run_batched(self, trace: WorkloadTrace) -> RunResult:
+    def _run_batched(self, trace: WorkloadTrace,
+                     observer: Optional[object] = None) -> RunResult:
         """Chunk-at-a-time replay over the trace's columnar stream.
 
         Per chunk: one cache-filter pass classifies every reference, the
@@ -510,6 +552,8 @@ class Platform(abc.ABC):
                 addends = y.copy()
                 slots = miss_indices
 
+            tenant_tags = getattr(chunk, "tenants", None)
+            results = None
             if misses:
                 on_chip = y[miss_indices].copy()
                 batch = MemoryRequestBatch(
@@ -519,7 +563,9 @@ class Platform(abc.ABC):
                     on_chip_ns=on_chip,
                     start_ns=now,
                     timeline=BatchTimeline(addends=addends,
-                                           service_slots=slots))
+                                           service_slots=slots),
+                    tenant_ids=(None if tenant_tags is None
+                                else tenant_tags[miss_indices]))
                 results = self.service_batch(batch)
                 stall = on_chip + results.latency_ns
                 addends[slots] = (stall + results.os_ns) + results.storage_ns
@@ -539,6 +585,8 @@ class Platform(abc.ABC):
                 account.instructions += count * compute_instructions
             account.instructions += count
             account.memory_instructions += count
+            if observer is not None:
+                observer.on_chunk(chunk, y, miss_indices, results)
 
         return self._build_result(trace, now, offchip)
 

@@ -118,7 +118,8 @@ class BypassPlatform(Platform):
                 return chained
         pages = batch.addresses // _PAGE
         if self.strategy == "ull-buff":
-            walk = self.page_buffer.access_batch(pages, batch.writes)
+            walk = self.page_buffer.access_batch(pages, batch.writes,
+                                                 tenants=batch.tenant_ids)
             hit_mask = walk.hits
             miss_indices = walk.miss_indices
         else:
@@ -196,6 +197,9 @@ class BypassPlatform(Platform):
         return MemoryServiceBatch(
             latency_ns=np.asarray(result.service_latency_ns,
                                   dtype=np.float64))
+
+    def page_caches(self) -> list:
+        return ["page_buffer"] if self.strategy == "ull-buff" else []
 
     def collect_energy(self, account: EnergyAccount) -> None:
         account.charge_nvdimm(active_ns=self._nvdimm_busy_ns,

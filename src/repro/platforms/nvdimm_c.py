@@ -174,7 +174,8 @@ class NvdimmCPlatform(Platform):
             return MemoryServiceBatch(latency_ns=np.empty(0))
         pages = batch.addresses // _PAGE
         walk = self.dram_cache.access_batch(
-            pages, batch.writes, install=self._install_migration_chunk)
+            pages, batch.writes, install=self._install_migration_chunk,
+            tenants=batch.tenant_ids)
         dram_latency = self.dram.access_batch(batch.sizes, batch.writes)
         self._dram_busy_ns = sequential_add(self._dram_busy_ns, dram_latency)
         self.migrations += walk.miss_count
@@ -190,6 +191,9 @@ class NvdimmCPlatform(Platform):
 
         return batch.service_page_cached(walk.hits, dram_latency,
                                          walk.miss_indices, miss_service)
+
+    def page_caches(self) -> list:
+        return ["dram_cache"]
 
     def collect_energy(self, account: EnergyAccount) -> None:
         account.charge_nvdimm(active_ns=self._dram_busy_ns,

@@ -124,7 +124,8 @@ class OptanePlatform(Platform):
         if count == 0:
             return MemoryServiceBatch(latency_ns=np.empty(0))
         pages = batch.addresses // _CACHE_PAGE
-        walk = self.dram_cache.access_batch(pages, batch.writes)
+        walk = self.dram_cache.access_batch(pages, batch.writes,
+                                            tenants=batch.tenant_ids)
         dram_latency = self.dram.access_batch(batch.sizes, batch.writes)
         self._dram_busy_ns = sequential_add(self._dram_busy_ns, dram_latency)
         latency = dram_latency.copy()
@@ -157,6 +158,9 @@ class OptanePlatform(Platform):
             miss_latency += dram_latency[misses]
             latency[misses] = miss_latency
         return MemoryServiceBatch(latency_ns=latency)
+
+    def page_caches(self) -> list:
+        return ["dram_cache"] if self.dram_cache_enabled else []
 
     def collect_energy(self, account: EnergyAccount) -> None:
         if self.dram is not None:

@@ -154,6 +154,13 @@ def run_cache_key(spec: RunSpec, config: SystemConfig,
         from ..trace.format import trace_run_identity  # lazy: no cycle
         spec_payload["workload"] = trace_run_identity(
             spec.workload, scale_payload, spec.dataset_bytes_override)
+    elif spec.workload.startswith("scenario:"):
+        # Same normalisation one level down: every trace-file tenant keys
+        # on content (or collapses to its provenance workload), never on
+        # a path, so scenario submissions dedup content-addressed too.
+        from ..scenario.spec import scenario_run_identity  # lazy: no cycle
+        spec_payload["workload"] = scenario_run_identity(
+            spec.workload, scale_payload)
     digest = hashlib.sha256(canonical_json({
         "schema": RUN_SCHEMA,
         "spec": spec_payload,
@@ -195,6 +202,11 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         },
         "memory_delay": dict(result.memory_delay),
         "extras": dict(result.extras),
+        # Per-tenant scenario statistics travel only when present, so
+        # pre-scenario artifacts and cache entries stay byte-stable.
+        **({"tenants": {name: dict(stats)
+                        for name, stats in result.tenants.items()}}
+           if result.tenants else {}),
     }
 
 
@@ -220,6 +232,8 @@ def run_result_from_dict(payload: Dict[str, Any]) -> RunResult:
         energy=EnergyBreakdown(**payload["energy"]),
         memory_delay=dict(payload["memory_delay"]),
         extras=dict(payload["extras"]),
+        tenants={name: dict(stats)
+                 for name, stats in (payload.get("tenants") or {}).items()},
     )
 
 

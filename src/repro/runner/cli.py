@@ -59,6 +59,15 @@ Subcommands
     imported file replays anywhere a workload name is accepted via
     ``trace:<path>`` — e.g. ``repro run --platforms mmap --workloads
     trace:seqRd.trace``.
+
+``scenario run|plan|report``
+    The multi-tenant scenario engine (see :mod:`repro.scenario` and
+    :mod:`repro.scenario.cli`): deterministically interleave N tenants'
+    access streams into one shared-system replay, attribute every cost
+    back to its tenant, and study contention under QoS policies —
+    ``run`` prints the per-tenant breakdown, ``plan`` the stream lengths
+    and mix identity without running, ``report`` the solo-vs-mixed
+    slowdown table with Jain's fairness index.
 """
 
 from __future__ import annotations
@@ -104,9 +113,30 @@ from .artifacts import (
 )
 from .presets import SMOKE_SCALE, ExperimentPreset, get_preset, preset_names
 from .regression import DEFAULT_THRESHOLD, diff_artifacts
-from .specs import matrix_specs
+from .specs import matrix_specs, workload_display_label
 
 DEFAULT_OUTPUT_DIR = Path("benchmarks") / "results"
+
+
+def _workload_display_map(workloads: Sequence[str]) -> dict:
+    """Raw result keys -> readable column labels for report tables.
+
+    Runs recorded under raw ``trace:<path>`` / ``scenario:{...}`` keys
+    (older artifacts, specs built without a ``workload_label``) print as
+    the trace's recorded workload name or the scenario's name instead of
+    a path or JSON blob.  Distinct sources that would collide on the same
+    label keep their raw keys — a rename must never merge columns.
+    """
+    labels = {workload: workload_display_label(workload) or workload
+              for workload in workloads}
+    owners: dict = {}
+    for workload, label in labels.items():
+        owners.setdefault(label, []).append(workload)
+    for label, raw_keys in owners.items():
+        if len(raw_keys) > 1:
+            for raw in raw_keys:
+                labels[raw] = raw
+    return labels
 
 
 def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
@@ -287,6 +317,8 @@ def build_parser() -> argparse.ArgumentParser:
     register_serve(subparsers)
     from ..trace.cli import register as register_trace
     register_trace(subparsers)
+    from ..scenario.cli import register as register_scenario
+    register_scenario(subparsers)
 
     return parser
 
@@ -333,8 +365,9 @@ def _summarise(experiment: ExperimentResult,
                preset_name: str, baseline: str) -> str:
     """Throughput table plus the mean-speedup headline when possible."""
     lines = []
+    labels = _workload_display_map(experiment.workloads())
     throughput = {
-        platform: {workload: experiment.get(platform, workload)
+        platform: {labels[workload]: experiment.get(platform, workload)
                    .operations_per_second
                    for workload in experiment.workloads()
                    if (platform, workload) in experiment.results}

@@ -69,6 +69,12 @@ def execute_spec(spec: RunSpec, config: SystemConfig, scale: ExperimentScale,
     This is the single execution path shared by the serial fallback and the
     pool workers, which is what guarantees serial/parallel equivalence.
     """
+    if spec.workload.startswith("scenario:"):
+        # Scenario runs add a QoS-policy install and per-tenant attribution
+        # around the same build-config/trace/platform steps; the branch
+        # lives in repro.scenario so this hot module stays lean.
+        from ..scenario.engine import execute_scenario_spec
+        return execute_scenario_spec(spec, config, scale, trace_cache)
     run_config = apply_config_overrides(config, spec.config_overrides)
     trace_spec = TraceSpec(workload=spec.workload, scale=scale,
                            dataset_bytes_override=spec.dataset_bytes_override)

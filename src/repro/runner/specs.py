@@ -128,13 +128,27 @@ def matrix_specs(platform_names, workloads) -> list:
     Unreadable or unnamed files simply keep the ``trace:`` key.
     """
     return [RunSpec(platform=platform, workload=workload,
-                    workload_label=_trace_workload_label(workload))
+                    workload_label=workload_display_label(workload))
             for workload in workloads
             for platform in platform_names]
 
 
-def _trace_workload_label(workload: str) -> Optional[str]:
-    """The recorded workload name of a ``trace:`` source, if readable."""
+def workload_display_label(workload: str) -> Optional[str]:
+    """A human-readable label for non-registry workload sources.
+
+    ``trace:`` sources report the trace file's recorded workload name
+    (provenance first, then footer metadata); ``scenario:`` sources report
+    the scenario's name.  Registry names — already readable — and
+    unreadable/unnamed files return ``None``, keeping the raw key.
+    Report tables and ``repro list`` use this so tenant mixes and trace
+    files never print as canonical paths or JSON blobs.
+    """
+    if workload.startswith("scenario:"):
+        from ..scenario.spec import parse_scenario_source  # lazy import
+        try:
+            return parse_scenario_source(workload).name
+        except ValueError:
+            return None  # execution will surface the real error
     if not workload.startswith("trace:"):
         return None
     from ..trace.format import (  # lazy: keeps spec import featherweight

@@ -1,0 +1,317 @@
+"""``python -m repro scenario`` — run, plan and report tenant mixes.
+
+Verbs
+-----
+
+``scenario run --platform P (--spec FILE | --tenant T ...)``
+    Replay the mix on one platform and print the per-tenant breakdown
+    (accesses, off-chip traffic, stall time, service latency, page-cache
+    hits/misses and eviction pollution where a policy cache exists) plus
+    the aggregate row the conservation gate checks against.
+
+``scenario plan (--spec FILE | --tenant T ...)``
+    Print what a run *would* do without building a single stream: the
+    tenant table (workload, weight, rate, phase, priority, exact stream
+    length), the total merged accesses — the number cost-balanced shard
+    planning uses — and the content-addressed mix identity.
+
+``scenario report --platform P (--spec FILE | --tenant T ...)``
+    Run every tenant solo, then the mix, and print the contention study:
+    per-tenant slowdown (mean stall per access, mixed over solo) and
+    Jain's fairness index over the reciprocal slowdowns.  Re-run with a
+    different ``--policy`` to see what a QoS knob buys each tenant.
+
+Tenants come from a JSON ``--spec`` file (the
+:meth:`~repro.scenario.spec.ScenarioSpec.from_dict` shape, full control)
+or from repeated ``--tenant WORKLOAD[=NAME][@WEIGHT]`` tokens — e.g.
+``--tenant seqRd=reader@2 --tenant updRand`` — with ``--arrival``,
+``--policy`` and ``--policy-params`` shaping the whole mix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Mapping
+
+from ..analysis.reporting import format_table
+from .policy import POLICY_NAMES, jains_index, tenant_slowdowns
+from .spec import (
+    ARRIVAL_MODELS,
+    ScenarioSpec,
+    TenantSpec,
+    scenario_spec_length,
+    tenant_stream_length,
+)
+
+
+def register(subparsers) -> None:
+    """Attach the ``scenario`` verb tree to the main ``repro`` parser."""
+    # Late import: runner.cli imports this module from build_parser(), so
+    # the scale-knob helpers must be looked up at registration time.
+    from ..runner.cli import _add_scale_arguments
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="multi-tenant interleaved-workload scenarios with QoS "
+             "policies and per-tenant attribution")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+
+    run = scenario_sub.add_parser(
+        "run", help="replay a tenant mix and print the per-tenant "
+                    "breakdown")
+    _add_spec_arguments(run)
+    run.add_argument("--platform", required=True, metavar="PLATFORM",
+                     help="platform registry name to replay the mix on")
+    run.add_argument("--cache-dir", type=Path, default=None,
+                     help="content-addressed run cache directory "
+                          "(default: no cache)")
+    _add_scale_arguments(run)
+    run.set_defaults(handler=cmd_scenario_run)
+
+    plan = scenario_sub.add_parser(
+        "plan", help="show tenant streams, merged length and mix identity "
+                     "without running anything")
+    _add_spec_arguments(plan)
+    _add_scale_arguments(plan)
+    plan.set_defaults(handler=cmd_scenario_plan)
+
+    report = scenario_sub.add_parser(
+        "report", help="solo-vs-mixed contention study: per-tenant "
+                       "slowdown and Jain's fairness index")
+    _add_spec_arguments(report)
+    report.add_argument("--platform", required=True, metavar="PLATFORM",
+                        help="platform registry name for solo and mixed "
+                             "runs")
+    report.add_argument("--cache-dir", type=Path, default=None,
+                        help="content-addressed run cache directory "
+                             "(default: no cache)")
+    _add_scale_arguments(report)
+    report.set_defaults(handler=cmd_scenario_report)
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--spec", type=Path, default=None, metavar="FILE",
+                        help="JSON scenario spec file (full control: "
+                             "per-tenant rates, phases, priorities, "
+                             "dataset overrides)")
+    parser.add_argument("--tenant", action="append", default=None,
+                        metavar="WORKLOAD[=NAME][@WEIGHT]",
+                        help="add one tenant (repeatable); WORKLOAD is a "
+                             "Table III name or trace:<path>")
+    parser.add_argument("--name", default="mix",
+                        help="scenario name for --tenant mixes "
+                             "(default: mix)")
+    parser.add_argument("--arrival", choices=ARRIVAL_MODELS,
+                        default="interleave",
+                        help="how tenant streams merge onto the issue "
+                             "clock (default: interleave)")
+    parser.add_argument("--rates", default=None, metavar="R1,R2,...",
+                        help="per-tenant issue rates for --arrival rate, "
+                             "positional over the --tenant list")
+    parser.add_argument("--policy", choices=POLICY_NAMES, default="shared",
+                        help="QoS policy evaluated during replay "
+                             "(default: shared)")
+    parser.add_argument("--policy-params", default=None, metavar="JSON",
+                        help="policy parameters as a JSON object, e.g. "
+                             "'{\"limits\": {\"reader\": 0.5}}' or "
+                             "'{\"shares\": {\"reader\": 3}}'")
+
+
+def _parse_tenant_token(token: str) -> TenantSpec:
+    """``WORKLOAD[=NAME][@WEIGHT]`` -> a TenantSpec.
+
+    The weight suffix is split first so trace paths containing ``=`` stay
+    intact; the name is everything after the first ``=`` of the rest.
+    """
+    body, sep, weight_text = token.rpartition("@")
+    if not sep:
+        body, weight_text = token, ""
+    workload, _, name = body.partition("=")
+    kwargs = {}
+    if weight_text:
+        try:
+            kwargs["weight"] = int(weight_text)
+        except ValueError:
+            raise ValueError(
+                f"tenant weight must be an integer, got {weight_text!r} "
+                f"in {token!r}") from None
+    return TenantSpec(workload=workload, name=name or None, **kwargs)
+
+
+def _build_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """The scenario a command describes: a --spec file or --tenant tokens."""
+    if args.spec is not None and args.tenant:
+        raise ValueError("give --spec or --tenant tokens, not both")
+    if args.spec is not None:
+        payload = json.loads(args.spec.read_text(encoding="utf-8"))
+        return ScenarioSpec.from_dict(payload)
+    if not args.tenant:
+        raise ValueError("describe the mix: --spec FILE or repeated "
+                         "--tenant WORKLOAD[=NAME][@WEIGHT]")
+    tenants = [_parse_tenant_token(token) for token in args.tenant]
+    if args.rates is not None:
+        rates = [float(rate) for rate in args.rates.split(",")]
+        if len(rates) != len(tenants):
+            raise ValueError(
+                f"--rates names {len(rates)} rate(s) for "
+                f"{len(tenants)} tenant(s)")
+        tenants = [TenantSpec(**{**_tenant_kwargs(tenant), "rate": rate})
+                   for tenant, rate in zip(tenants, rates)]
+    policy_params = (json.loads(args.policy_params)
+                     if args.policy_params else {})
+    return ScenarioSpec(name=args.name, tenants=tuple(tenants),
+                        arrival=args.arrival, policy=args.policy,
+                        policy_params=policy_params)
+
+
+def _tenant_kwargs(tenant: TenantSpec) -> Dict[str, object]:
+    return {field: value for field, value in tenant.canonical().items()
+            if value is not None}
+
+
+def _session(args: argparse.Namespace):
+    from ..api import Session  # lazy: keeps `repro scenario -h` fast
+    from ..runner.cli import _build_scale
+
+    return Session(scale=_build_scale(args), workers=1,
+                   cache_dir=args.cache_dir)
+
+
+def _tenant_breakdown(tenants: Mapping[str, Mapping[str, float]],
+                      title: str) -> str:
+    """The per-tenant table of a scenario RunResult's ``tenants`` payload."""
+    have_cache = any("cache_hits" in stats or "cache_misses" in stats
+                     for stats in tenants.values())
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, stats in tenants.items():
+        row = {
+            "accesses": stats.get("accesses", 0.0),
+            "offchip": stats.get("offchip", 0.0),
+            "MB moved": stats.get("bytes", 0.0) / 1e6,
+            "stall ms": stats.get("stall_ns", 0.0) / 1e6,
+            "svc us": stats.get("service_ns.mean_ns", 0.0) / 1e3,
+        }
+        if have_cache:
+            row["cache hits"] = stats.get("cache_hits", 0.0)
+            row["cache misses"] = stats.get("cache_misses", 0.0)
+            row["evicted by others"] = stats.get("evictions_suffered", 0.0)
+        rows[name] = row
+    return format_table(rows, title=title, float_format="{:.1f}",
+                        row_header="tenant")
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _build_spec(args)
+    except (ValueError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = _session(args)
+    try:
+        result = session.scenario(spec, args.platform)
+    except (ValueError, AssertionError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(_tenant_breakdown(
+        result.tenants,
+        title=f"{spec.name} on {args.platform} "
+              f"({spec.arrival} arrival, {spec.policy} policy)"))
+    print()
+    print(f"{spec.name}: {result.memory_accesses} accesses "
+          f"({result.offchip_accesses} off-chip), "
+          f"{result.operations_per_second:.0f} ops/s, "
+          f"{len(spec.tenants)} tenant(s)")
+    return 0
+
+
+def cmd_scenario_plan(args: argparse.Namespace) -> int:
+    from ..runner.artifacts import scale_to_dict
+    from ..runner.cli import _build_scale
+
+    try:
+        spec = _build_spec(args)
+    except (ValueError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    scale = _build_scale(args)
+    names = spec.tenant_names()
+    try:
+        lengths = [tenant_stream_length(tenant, scale)
+                   for tenant in spec.tenants]
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = {
+        name: {
+            "weight": float(tenant.weight),
+            "rate": tenant.rate,
+            "phase": tenant.phase,
+            "priority": float(tenant.priority),
+            "accesses": float(length),
+        }
+        for name, tenant, length in zip(names, spec.tenants, lengths)
+    }
+    print(format_table(
+        rows, title=f"{spec.name}: {spec.arrival} arrival, "
+                    f"{spec.policy} policy",
+        float_format="{:.2f}", row_header="tenant"))
+    print()
+    for name, tenant in zip(names, spec.tenants):
+        print(f"  {name}: {tenant.workload}")
+    print()
+    print(f"merged accesses: {scenario_spec_length(spec, scale)}")
+    print(f"mix identity:    {spec.identity(scale_to_dict(scale))}")
+    return 0
+
+
+def cmd_scenario_report(args: argparse.Namespace) -> int:
+    try:
+        spec = _build_spec(args)
+    except (ValueError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = _session(args)
+    names = spec.tenant_names()
+    try:
+        solo = {
+            name: session.simulate(
+                args.platform, tenant.workload,
+                dataset_bytes_override=tenant.dataset_bytes_override)
+            for name, tenant in zip(names, spec.tenants)
+        }
+        mixed = session.scenario(spec, args.platform)
+    except (ValueError, AssertionError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    slowdowns = tenant_slowdowns(mixed.tenants, solo)
+    rows = {
+        name: {
+            "solo stall ns/acc":
+                (solo[name].memory_stall_ns / solo[name].memory_accesses
+                 if solo[name].memory_accesses else 0.0),
+            "mixed stall ns/acc":
+                (mixed.tenants[name].get("stall_ns", 0.0)
+                 / mixed.tenants[name]["accesses"]
+                 if mixed.tenants[name].get("accesses") else 0.0),
+            "slowdown": slowdowns.get(name, 1.0),
+        }
+        for name in names
+    }
+    print(_tenant_breakdown(
+        mixed.tenants,
+        title=f"{spec.name} on {args.platform} "
+              f"({spec.arrival} arrival, {spec.policy} policy)"))
+    print()
+    print(format_table(
+        rows, title=f"{spec.name}: contention (mixed vs solo)",
+        float_format="{:.3f}", row_header="tenant"))
+    fairness = jains_index([
+        1.0 / slowdown if slowdown else 1.0
+        for slowdown in slowdowns.values()])
+    print()
+    print(f"Jain fairness index (reciprocal slowdowns): {fairness:.4f}")
+    return 0

@@ -1,0 +1,332 @@
+"""Scenario specifications: plain-data descriptions of a tenant mix.
+
+A :class:`ScenarioSpec` names N tenants (each a Table III workload or a
+``trace:<path>`` file), an arrival model that decides how their access
+streams interleave on the shared platform's issue clock, and a QoS policy
+evaluated during replay.  Everything is plain data, serialises canonically
+and round-trips exactly — which is what lets a scenario ride the existing
+:class:`~repro.runner.specs.RunSpec` machinery as a
+``scenario:<canonical-json>`` workload source: the run cache, the
+serial/pool/sharded executors, shard manifests and ``repro serve`` all
+treat a scenario exactly like any other workload name.
+
+Content addressing mirrors the ``trace:`` convention: the run-cache key of
+a scenario run never hashes a tenant's file *path* — each ``trace:``
+tenant source is normalised through
+:func:`~repro.trace.format.trace_run_identity` first, so two scenario
+submissions whose tenant files hold the same accesses collapse to the same
+cache entry (and a provenance-matched file collapses to the in-memory
+workload it replays).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Workload-source prefix marking a scenario, next to ``trace:``.
+SCENARIO_SOURCE_PREFIX = "scenario:"
+
+#: How tenant streams merge onto the shared issue clock.
+ARRIVAL_MODELS = ("interleave", "rate")
+
+#: Reserved key of the merged per-tenant payload in ``RunResult.tenants``.
+AGGREGATE_KEY = "aggregate"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a scenario: a workload plus its arrival shape.
+
+    ``weight`` is the tenant's block size under the ``interleave`` arrival
+    model (how many consecutive accesses it issues per round-robin cycle);
+    ``rate`` and ``phase`` shape the ``rate`` arrival model — tenant access
+    *i* issues at clock ``phase + (i + 1) / rate``, so a tenant with twice
+    the rate lands twice as many accesses per unit of issue time.
+    ``priority`` only matters under the strict-priority policy (larger
+    wins).  ``name`` labels the tenant in reports and per-tenant statistics
+    (default: derived from the workload).
+    """
+
+    workload: str
+    name: Optional[str] = None
+    weight: int = 1
+    rate: float = 1.0
+    phase: float = 0.0
+    priority: int = 0
+    dataset_bytes_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("tenant workload must be non-empty")
+        if self.workload.startswith(SCENARIO_SOURCE_PREFIX):
+            raise ValueError("scenarios cannot nest scenario: sources")
+        if not isinstance(self.weight, int) or self.weight < 1:
+            raise ValueError(
+                f"tenant weight must be a positive integer, "
+                f"got {self.weight!r}")
+        if not self.rate > 0:
+            raise ValueError(f"tenant rate must be positive, got {self.rate!r}")
+        if self.phase < 0:
+            raise ValueError(
+                f"tenant phase cannot be negative, got {self.phase!r}")
+        if self.name == AGGREGATE_KEY:
+            raise ValueError(
+                f"tenant name {AGGREGATE_KEY!r} is reserved for the merged "
+                f"per-tenant payload")
+
+    @property
+    def base_label(self) -> str:
+        """The un-deduplicated display label of this tenant."""
+        if self.name:
+            return self.name
+        if self.workload.startswith("trace:"):
+            # The path stem, not the full path: labels are table columns.
+            stem = self.workload.split("/")[-1]
+            return stem[:-len(".trace")] if stem.endswith(".trace") else stem
+        return self.workload
+
+    def canonical(self) -> Dict[str, Any]:
+        """Deterministically ordered plain-data form (hashing, artifacts)."""
+        return {
+            "workload": self.workload,
+            "name": self.name,
+            "weight": self.weight,
+            "rate": self.rate,
+            "phase": self.phase,
+            "priority": self.priority,
+            "dataset_bytes_override": self.dataset_bytes_override,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "TenantSpec":
+        return TenantSpec(
+            workload=payload["workload"],
+            name=payload.get("name"),
+            weight=payload.get("weight", 1),
+            rate=payload.get("rate", 1.0),
+            phase=payload.get("phase", 0.0),
+            priority=payload.get("priority", 0),
+            dataset_bytes_override=payload.get("dataset_bytes_override"),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named tenant mix: tenants + arrival model + QoS policy.
+
+    The spec is pure description — no streams, no platform state — so it
+    pickles trivially and its canonical JSON is the scenario's workload
+    source (:func:`scenario_source`).  Policies that shape *arrival*
+    (``throttle``, ``priority``) require the ``rate`` model, where issue
+    clocks exist to shape; ``cache-partition`` acts on the platform instead
+    and combines with either arrival model.
+    """
+
+    name: str
+    tenants: Tuple[TenantSpec, ...]
+    arrival: str = "interleave"
+    policy: str = "shared"
+    policy_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Late import: policy.py imports nothing from here at module level,
+        # but keeping the name list in one place avoids drift.
+        from .policy import POLICY_NAMES
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.tenants:
+            raise ValueError("a scenario needs at least one tenant")
+        object.__setattr__(self, "tenants", tuple(
+            tenant if isinstance(tenant, TenantSpec)
+            else TenantSpec.from_dict(tenant)
+            for tenant in self.tenants))
+        if self.arrival not in ARRIVAL_MODELS:
+            raise ValueError(
+                f"unknown arrival model {self.arrival!r}; "
+                f"expected one of {ARRIVAL_MODELS}")
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"expected one of {POLICY_NAMES}")
+        if self.policy in ("throttle", "priority") and \
+                self.arrival != "rate":
+            raise ValueError(
+                f"policy {self.policy!r} shapes issue clocks and needs "
+                f"arrival='rate' (got {self.arrival!r})")
+        if self.arrival == "interleave":
+            for tenant in self.tenants:
+                if tenant.phase:
+                    raise ValueError(
+                        f"tenant {tenant.base_label!r} sets a phase offset, "
+                        f"which only the 'rate' arrival model honours")
+        object.__setattr__(self, "policy_params",
+                           dict(self.policy_params or {}))
+
+    # -- labels ---------------------------------------------------------------------
+
+    def tenant_names(self) -> List[str]:
+        """Unique display labels, one per tenant, in tenant order.
+
+        Duplicate base labels (the same workload mixed against itself —
+        the classic noisy-neighbour study) are disambiguated by an
+        ``#<position>`` suffix, so per-tenant payload keys never collide.
+        """
+        bases = [tenant.base_label for tenant in self.tenants]
+        names: List[str] = []
+        for index, base in enumerate(bases):
+            if bases.count(base) > 1:
+                names.append(f"{base}#{index}")
+            else:
+                names.append(base)
+        return names
+
+    # -- serialisation --------------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """Deterministically ordered plain-data form of the whole spec."""
+        return {
+            "name": self.name,
+            "tenants": [tenant.canonical() for tenant in self.tenants],
+            "arrival": self.arrival,
+            "policy": self.policy,
+            "policy_params": _canonical_value(self.policy_params),
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "ScenarioSpec":
+        return ScenarioSpec(
+            name=payload["name"],
+            tenants=tuple(TenantSpec.from_dict(tenant)
+                          for tenant in payload["tenants"]),
+            arrival=payload.get("arrival", "interleave"),
+            policy=payload.get("policy", "shared"),
+            policy_params=dict(payload.get("policy_params") or {}),
+        )
+
+    def identity(self, scale_dict: Mapping[str, Any]) -> str:
+        """``sha256:<hex>`` mix identity, content-addressed like the cache.
+
+        Hashes the canonical spec with every ``trace:`` tenant source
+        replaced by its :func:`~repro.trace.format.trace_run_identity`
+        (content hash or collapsed provenance name — never a path), plus
+        the scale that fixes the synthesised tenants' streams.  Two
+        scenarios with this identity and the same platform/config replay
+        bit-identically.
+        """
+        payload = {
+            "scenario": _normalised_canonical(self, dict(scale_dict)),
+            "scale": dict(scale_dict),
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")).encode("utf-8"))
+        return f"sha256:{digest.hexdigest()}"
+
+
+def _canonical_value(value: Any) -> Any:
+    """Recursively sort mappings so canonical JSON is deterministic."""
+    if isinstance(value, Mapping):
+        return {key: _canonical_value(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item) for item in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# The scenario: workload source
+# ---------------------------------------------------------------------------
+
+
+def scenario_source(spec: ScenarioSpec) -> str:
+    """The ``scenario:<canonical-json>`` workload name of *spec*.
+
+    This string is what a :class:`~repro.runner.specs.RunSpec` carries, so
+    it must be deterministic: the same spec always encodes to the same
+    source, and therefore to the same run-cache key.
+    """
+    return SCENARIO_SOURCE_PREFIX + json.dumps(
+        spec.canonical(), sort_keys=True, separators=(",", ":"))
+
+
+def is_scenario_source(workload: object) -> bool:
+    """True when a workload name encodes a scenario."""
+    return (isinstance(workload, str)
+            and workload.startswith(SCENARIO_SOURCE_PREFIX))
+
+
+def parse_scenario_source(workload: str) -> ScenarioSpec:
+    """Rebuild the exact spec :func:`scenario_source` encoded."""
+    if not is_scenario_source(workload):
+        raise ValueError(f"not a scenario source: {workload!r}")
+    body = workload[len(SCENARIO_SOURCE_PREFIX):]
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"malformed scenario source (not valid JSON): {error}") from None
+    return ScenarioSpec.from_dict(payload)
+
+
+def scenario_run_identity(workload: str,
+                          scale_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """What a ``scenario:`` workload contributes to a run-cache key.
+
+    The canonical spec with each ``trace:`` tenant source normalised to
+    its content identity — the scenario analogue of
+    :func:`~repro.trace.format.trace_run_identity`, and called from the
+    same place (:func:`~repro.runner.artifacts.run_cache_key`).
+    """
+    spec = parse_scenario_source(workload)
+    return {"scenario": _normalised_canonical(spec, scale_dict)}
+
+
+def _normalised_canonical(spec: ScenarioSpec,
+                          scale_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """The canonical spec with path-free tenant source identities."""
+    payload = spec.canonical()
+    for tenant, entry in zip(spec.tenants, payload["tenants"]):
+        if tenant.workload.startswith("trace:"):
+            from ..trace.format import trace_run_identity  # lazy: no cycle
+            entry["workload"] = trace_run_identity(
+                tenant.workload, scale_dict, tenant.dataset_bytes_override)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Cost estimation (shard planning, `repro scenario plan`)
+# ---------------------------------------------------------------------------
+
+
+def tenant_stream_length(tenant: TenantSpec, scale) -> int:
+    """Exact access count of one tenant's stream, without building it.
+
+    ``trace:`` tenants read the length from the ``repro.trace/1`` footer;
+    registry tenants mirror :func:`~repro.workloads.registry.trace_plan`'s
+    arithmetic (which is exact, not an estimate — the plan fixes the
+    count before any synthesis).
+    """
+    if tenant.workload.startswith("trace:"):
+        from ..trace.format import trace_source_path, trace_summary
+        return int(trace_summary(
+            trace_source_path(tenant.workload))["length"])
+    from ..workloads.registry import get_workload
+    workload = get_workload(tenant.workload)
+    scaled = scale.scaled_instructions(
+        workload.characteristics.total_instructions)
+    raw = int(scaled / (1.0 + workload.compute_instructions_per_access))
+    return min(scale.max_accesses, max(scale.min_accesses, raw))
+
+
+def scenario_spec_length(workload_or_spec, scale) -> int:
+    """Total merged accesses of a scenario: the sum of its tenant streams.
+
+    Accepts either a :class:`ScenarioSpec` or its ``scenario:`` source
+    string — :func:`~repro.distrib.manifest.estimate_spec_cost` passes the
+    latter straight off a :class:`~repro.runner.specs.RunSpec`.
+    """
+    spec = (parse_scenario_source(workload_or_spec)
+            if isinstance(workload_or_spec, str) else workload_or_spec)
+    return sum(tenant_stream_length(tenant, scale) for tenant in spec.tenants)

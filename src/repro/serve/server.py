@@ -353,7 +353,23 @@ class ServeDaemon:
                 raise ServeError(
                     400, f"specs[{position}]: unknown platform "
                          f"{spec.platform!r}")
-            if spec.workload not in workloads:
+            if spec.workload.startswith("scenario:"):
+                # Scenario sources carry their spec inline; parse it now
+                # so a malformed mix fails the submission, not a worker.
+                from ..scenario.spec import parse_scenario_source
+                try:
+                    scenario = parse_scenario_source(spec.workload)
+                except ValueError as error:
+                    raise ServeError(
+                        400, f"specs[{position}]: {error}") from None
+                for tenant in scenario.tenants:
+                    if (not tenant.workload.startswith("trace:")
+                            and tenant.workload not in workloads):
+                        raise ServeError(
+                            400, f"specs[{position}]: unknown tenant "
+                                 f"workload {tenant.workload!r}")
+            elif (spec.workload not in workloads
+                    and not spec.workload.startswith("trace:")):
                 raise ServeError(
                     400, f"specs[{position}]: unknown workload "
                          f"{spec.workload!r}")

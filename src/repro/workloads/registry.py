@@ -294,6 +294,15 @@ def build_trace(name: str, scale: Optional[ExperimentScale] = None,
         from ..trace.reader import load_trace_file
         return load_trace_file(trace_source_path(name),
                                dataset_bytes_override=dataset_bytes_override)
+    if name.startswith("scenario:"):
+        # Lazy: repro.scenario imports from this package.  A scenario
+        # source carries its own per-tenant dataset overrides, so the
+        # spec-level override has no meaning here.
+        from ..scenario.mix import build_mixed_trace
+        from ..scenario.spec import parse_scenario_source
+        return build_mixed_trace(parse_scenario_source(name),
+                                 scale if scale is not None
+                                 else ExperimentScale())
     plan = trace_plan(name, scale, dataset_bytes_override)
     # The stream is built columnar end-to-end: generator addresses and the
     # write mask stay numpy arrays, no per-access record objects exist.
