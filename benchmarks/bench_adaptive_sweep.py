@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Adaptive-sweep efficiency benchmark: same knee, half the accesses.
+
+The adaptive sweep driver (``src/repro/sweep/``) exists so fig20-style
+sensitivity studies stop paying for the flat parts of their grids.  This
+benchmark holds it to that promise on the page-size study: a dense
+quarter-octave ``mos_page_bytes`` grid (29 cells, 16 KB..2 MB) on the two
+HAMS integrations, workload ``rndRd`` — the curve rises to a mid-page peak
+and collapses past it, exactly the knee Figure 20a plots.
+
+Per platform, two sweeps run against **separate** run caches:
+
+* the **fixed grid** — every cell, the baseline cost; its metric curve
+  defines the reference knee (max discrete curvature, the same
+  :func:`repro.sweep.knee_index` the driver uses);
+* the **adaptive** sweep — seeds 5 of 29 cells, refines where the
+  curvature exceeds the tolerance.
+
+Asserted, per platform:
+
+* **knee parity** — the adaptive knee equals the full grid's knee;
+* **cost** — the adaptive run simulates at most ``MAX_COST_FRACTION``
+  (50%) of the grid's total estimated accesses;
+* **cell parity** — every cell the adaptive run resolved is bit-identical
+  to the same cell of the fixed grid (the golden-parity contract).
+
+The record lands as ``results/BENCH_adaptive_sweep.json``.  Runs
+standalone (``python benchmarks/bench_adaptive_sweep.py``) and as a
+pytest-benchmark test (``pytest benchmarks/bench_adaptive_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+from repro.api import Session
+from repro.runner.artifacts import run_result_to_dict
+from repro.sweep import knee_index
+from repro.workloads.registry import ExperimentScale
+
+#: Schema tag of the JSON record this benchmark writes.
+ADAPTIVE_BENCH_SCHEMA = "repro.bench-adaptive-sweep/1"
+
+#: Ceiling on adaptive spend as a fraction of the full grid's cost.
+MAX_COST_FRACTION = 0.5
+
+#: Large enough that the page-size knee is a real feature of the curve
+#: (it needs page faults, migrations and cache pressure to show), small
+#: enough that both sweeps finish in seconds.
+SCALE = ExperimentScale(capacity_scale=1 / 256, min_accesses=600,
+                        max_accesses=1200)
+
+KB = 1024
+#: Quarter-octave geometric grid snapped to the 4 KB mos-page quantum —
+#: dense enough that a fixed-grid study visibly overpays, geometric so the
+#: metric curve is smooth in grid-index space (the axis fig20a plots).
+PAGE_GRID = [size for size in sorted(
+    {max(1, round(4 * 2 ** (step / 4))) * 4 * KB for step in range(33)})
+    if size <= 2048 * KB]
+
+PLATFORMS = ("hams-TE", "hams-LE")
+WORKLOAD = "rndRd"
+TOLERANCE = 0.06
+SEED_POINTS = 5
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / \
+    "BENCH_adaptive_sweep.json"
+
+
+def measure(workers: Optional[int] = None) -> Dict[str, Dict[str, Any]]:
+    """Run grid + adaptive per platform; return the comparison rows."""
+    rows: Dict[str, Dict[str, Any]] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-adaptive-") as tmp:
+        for platform in PLATFORMS:
+            grid_session = Session(SCALE, workers=workers,
+                                   cache_dir=Path(tmp) / f"grid-{platform}")
+            started = time.perf_counter()
+            grid = grid_session.sweep(platform, [WORKLOAD], "hams",
+                                      "mos_page_bytes", PAGE_GRID)
+            grid_seconds = time.perf_counter() - started
+            curve = {index: grid.get(str(value), WORKLOAD)
+                     .operations_per_second
+                     for index, value in enumerate(PAGE_GRID)}
+            grid_knee_idx = knee_index(curve)
+            grid_knee = (PAGE_GRID[grid_knee_idx]
+                         if grid_knee_idx is not None else None)
+
+            adaptive_session = Session(
+                SCALE, workers=workers,
+                cache_dir=Path(tmp) / f"adaptive-{platform}")
+            started = time.perf_counter()
+            adaptive = adaptive_session.adaptive_sweep(
+                platform, [WORKLOAD], "hams", "mos_page_bytes", PAGE_GRID,
+                tolerance=TOLERANCE, seed_points=SEED_POINTS)
+            adaptive_seconds = time.perf_counter() - started
+
+            mismatched = [
+                cell.label for cell in
+                adaptive.evaluated_cells + adaptive.skipped_cells
+                if run_result_to_dict(
+                    adaptive.experiment.get(cell.label, WORKLOAD))
+                != run_result_to_dict(grid.get(cell.label, WORKLOAD))]
+            rows[platform] = {
+                "grid_cells": len(PAGE_GRID),
+                "grid_cost": adaptive.grid_cost,
+                "grid_knee": grid_knee,
+                "grid_seconds": grid_seconds,
+                "adaptive_cells": len(adaptive.evaluated_cells),
+                "adaptive_cost": adaptive.spent_cost,
+                "adaptive_knee": adaptive.knees[WORKLOAD],
+                "adaptive_rounds": len(adaptive.rounds),
+                "adaptive_seconds": adaptive_seconds,
+                "cost_fraction": (adaptive.spent_cost / adaptive.grid_cost
+                                  if adaptive.grid_cost else 0.0),
+                "stop_reason": adaptive.stop_reason,
+                "mismatched_cells": mismatched,
+            }
+    return rows
+
+
+def check(rows: Dict[str, Dict[str, Any]]) -> None:
+    for platform, row in rows.items():
+        assert row["adaptive_knee"] == row["grid_knee"], (
+            f"{platform}: adaptive knee {row['adaptive_knee']} != "
+            f"grid knee {row['grid_knee']}")
+        assert row["cost_fraction"] <= MAX_COST_FRACTION, (
+            f"{platform}: adaptive spent {row['cost_fraction']:.0%} of the "
+            f"grid's accesses (ceiling {MAX_COST_FRACTION:.0%})")
+        assert not row["mismatched_cells"], (
+            f"{platform}: cells diverged from the fixed grid: "
+            f"{row['mismatched_cells']}")
+
+
+def write_record(rows: Dict[str, Dict[str, Any]], path: Path) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": ADAPTIVE_BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "max_cost_fraction": MAX_COST_FRACTION,
+        "tolerance": TOLERANCE,
+        "seed_points": SEED_POINTS,
+        "workload": WORKLOAD,
+        "page_grid": PAGE_GRID,
+        "platforms": rows,
+    }
+    path.write_text(json.dumps(payload, sort_keys=True, indent=1),
+                    encoding="utf-8")
+    return path
+
+
+def _report(rows: Dict[str, Dict[str, Any]]) -> str:
+    lines = [f"{'platform':10s} {'grid':>10s} {'adaptive':>10s} "
+             f"{'spend':>7s} {'knee':>8s} {'rounds':>6s}"]
+    for platform, row in rows.items():
+        lines.append(
+            f"{platform:10s} "
+            f"{row['grid_cells']:6d} cell {row['adaptive_cells']:6d} cell "
+            f"{row['cost_fraction']:6.0%} "
+            f"{(row['adaptive_knee'] or 0) // KB:6d}KB "
+            f"{row['adaptive_rounds']:6d}")
+    return "\n".join(lines)
+
+
+def test_adaptive_sweep_recovers_the_knee_cheaply(benchmark):
+    """pytest-benchmark wrapper; asserts knee parity and the cost ceiling."""
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    path = write_record(rows, DEFAULT_OUTPUT)
+    print()
+    print(_report(rows))
+    print(f"-> {path}")
+    check(rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="adaptive vs fixed-grid page-size sweep: knee parity "
+                    "and simulated-access savings")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="JSON record path "
+                             "(default: results/BENCH_adaptive_sweep.json)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: $REPRO_WORKERS or "
+                             "CPU count)")
+    args = parser.parse_args(argv)
+    rows = measure(workers=args.workers)
+    print(_report(rows))
+    print(f"-> {write_record(rows, args.output)}")
+    try:
+        check(rows)
+    except AssertionError as error:
+        print(f"FAIL: {error}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,16 @@ Quick start (see :mod:`repro.api` for the full facade)::
     print(result.operations_per_second)
 """
 
-from .api import ServeClient, Session, compare, run_sharded, simulate, sweep
+from .api import (
+    AdaptiveSweepResult,
+    ServeClient,
+    Session,
+    adaptive_sweep,
+    compare,
+    run_sharded,
+    simulate,
+    sweep,
+)
 from .exec import (
     Event,
     Executor,
@@ -89,6 +98,8 @@ __all__ = [
     "simulate",
     "compare",
     "sweep",
+    "adaptive_sweep",
+    "AdaptiveSweepResult",
     "run_sharded",
     "Event",
     "Executor",

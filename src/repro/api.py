@@ -60,12 +60,14 @@ from .exec import (
     ExecutionContext,
     Executor,
     ExperimentHandle,
+    ShardedExecutor,
     resolve_executor,
 )
 from .platforms.base import RunResult
 from .platforms.registry import PLATFORM_NAMES, available_platforms
 from .runner.parallel import ParallelExperimentRunner
 from .runner.specs import RunSpec, matrix_specs
+from .sweep.driver import AdaptiveSweepResult, sweep_labels
 from .workloads.registry import ExperimentScale, all_workload_names
 from .workloads.trace import WorkloadTrace
 
@@ -75,6 +77,8 @@ __all__ = [
     "simulate",
     "compare",
     "sweep",
+    "adaptive_sweep",
+    "AdaptiveSweepResult",
     "run_sharded",
     "platforms",
     "workloads",
@@ -270,13 +274,14 @@ class Session:
         ``str(value)``), so the result is keyed ``(label, workload)`` —
         the shape the Figure 20a page-size study plots.  *shards* splits
         the sweep across the distributed tier.
+
+        Labels must be unique: two values that stringify identically
+        (``4096`` and ``"4096"``) or user-passed duplicate labels would
+        silently overwrite each other's result keys, so they raise
+        ``ValueError`` instead.
         """
         values = list(values)
-        if labels is None:
-            labels = [str(value) for value in values]
-        labels = list(labels)
-        if len(labels) != len(values):
-            raise ValueError("labels must match values")
+        labels = sweep_labels(values, labels)
         return self.collect([
             RunSpec(platform=platform, workload=workload,
                     config_overrides={section: {field: value}},
@@ -285,14 +290,99 @@ class Session:
             for value, label in zip(values, labels)
         ], shards=shards, name=f"sweep-{platform}-{section}.{field}")
 
+    def adaptive_sweep(self, platform: str, workloads: Iterable[str],
+                       section: str, field: str, values: Sequence[Any], *,
+                       labels: Optional[Sequence[str]] = None,
+                       metric: Any = "operations_per_second",
+                       tolerance: float = 0.05,
+                       budget: Optional[int] = None,
+                       seed_points: int = 5,
+                       max_rounds: int = 12,
+                       settle_rounds: Optional[int] = 3,
+                       name: Optional[str] = None,
+                       executor: Union[str, Executor, None] = None,
+                       shards: Optional[int] = None,
+                       observer: Any = None) -> AdaptiveSweepResult:
+        """Sweep one config field adaptively: refine where the curve bends.
+
+        *values* is the **grid** a fixed-grid :meth:`sweep` would
+        enumerate, as a strictly increasing numeric sequence.  Instead of
+        evaluating every cell, the driver seeds *seed_points* of them per
+        workload, then per round bisects the grid intervals around any
+        evaluated point whose discrete-curvature score of *metric* (a
+        ``RunResult`` attribute name or a callable) exceeds *tolerance* —
+        knee finding.  Candidates whose content-addressed run-cache key is
+        already resolved cost nothing; *budget* (estimated simulated
+        accesses, via :func:`~repro.distrib.manifest.estimate_spec_cost`)
+        caps the spend and records what it pruned; a workload whose knee
+        estimate holds still for *settle_rounds* rounds stops refining.
+
+        Every evaluated cell is submitted as exactly the spec the
+        fixed-grid sweep would build, so the cells both run are
+        bit-identical and share cache entries.  Returns an
+        :class:`~repro.sweep.AdaptiveSweepResult`: the experiment (same
+        ``(label, workload)`` keys as :meth:`sweep`), the per-round
+        refinement trace, per-workload knees and the cost accounting.
+        """
+        from .sweep.driver import AdaptiveSweepDriver
+        return AdaptiveSweepDriver(
+            self, platform, list(workloads), section, field, values,
+            labels=labels, metric=metric, tolerance=tolerance,
+            budget=budget, seed_points=seed_points, max_rounds=max_rounds,
+            settle_rounds=settle_rounds, name=name, executor=executor,
+            shards=shards, observer=observer).run()
+
+
+def _validate_execution_knobs(executor: Union[str, Executor, None],
+                              shards: Optional[int],
+                              spool_dir: Optional[Path],
+                              wait_timeout: Optional[float]) -> None:
+    """Reject conflicting one-shot execution knobs up front.
+
+    The sharded tier is the only consumer of *spool_dir*/*wait_timeout*,
+    and an :class:`Executor` instance carries its own configuration — so a
+    combination that would silently drop (or half-apply) a knob is an
+    error here, not a surprise later.
+    """
+    effective = shards if shards is not None and shards > 0 else None
+    if isinstance(executor, str):
+        sharded = executor == "sharded"
+        if not sharded and effective is not None:
+            raise ValueError(
+                f"executor={executor!r} conflicts with shards={shards}: "
+                f"the {executor!r} tier does not shard; pass "
+                f"executor='sharded' (or drop shards=)")
+    elif executor is None:
+        sharded = effective is not None
+    else:
+        if effective is not None:
+            raise ValueError(
+                f"shards={shards} conflicts with an Executor instance: "
+                f"configure the instance instead (e.g. "
+                f"ShardedExecutor(shards={shards}))")
+        sharded = isinstance(executor, ShardedExecutor)
+    if not sharded:
+        dead = [knob for knob, value in (("spool_dir", spool_dir),
+                                         ("wait_timeout", wait_timeout))
+                if value is not None]
+        if dead:
+            raise ValueError(
+                f"{' and '.join(dead)} only apply to the sharded tier; "
+                f"pass shards=N or executor='sharded' (or a "
+                f"ShardedExecutor instance) to use "
+                f"{'them' if len(dead) > 1 else 'it'}")
+
 
 def _session(scale: Optional[ExperimentScale],
              workers: Optional[int], *,
              executor: Union[str, Executor, None] = None,
+             shards: Optional[int] = None,
              spool_dir: Optional[Path] = None,
              wait_timeout: Optional[float] = None) -> Session:
+    _validate_execution_knobs(executor, shards, spool_dir, wait_timeout)
     return Session(scale=scale, workers=workers, executor=executor,
-                   spool_dir=spool_dir, wait_timeout=wait_timeout)
+                   shards=shards, spool_dir=spool_dir,
+                   wait_timeout=wait_timeout)
 
 
 def simulate(platform: str, workload: str, *,
@@ -315,10 +405,13 @@ def compare(platforms: Iterable[str], workloads: Iterable[str], *,
     matrix helpers are deliberately symmetric: *executor* picks the tier,
     *shards* routes through the distributed tier, *spool_dir* keeps the
     shard artifacts, *wait_timeout* bounds waiting on foreign workers.
+    Conflicting combinations (a non-sharded tier with sharded-only knobs,
+    or *shards* alongside an :class:`Executor` instance) raise
+    ``ValueError`` instead of half-applying.
     """
-    return _session(scale, workers, executor=executor, spool_dir=spool_dir,
-                    wait_timeout=wait_timeout).compare(platforms, workloads,
-                                                       shards=shards)
+    return _session(scale, workers, executor=executor, shards=shards,
+                    spool_dir=spool_dir,
+                    wait_timeout=wait_timeout).compare(platforms, workloads)
 
 
 def sweep(platform: str, workloads: Iterable[str], section: str, field: str,
@@ -330,10 +423,45 @@ def sweep(platform: str, workloads: Iterable[str], section: str, field: str,
           spool_dir: Optional[Path] = None,
           wait_timeout: Optional[float] = None) -> ExperimentResult:
     """One-shot :meth:`Session.sweep` with a throwaway session."""
-    return _session(scale, workers, executor=executor, spool_dir=spool_dir,
-                    wait_timeout=wait_timeout).sweep(
+    return _session(scale, workers, executor=executor, shards=shards,
+                    spool_dir=spool_dir, wait_timeout=wait_timeout).sweep(
+        platform, workloads, section, field, values, labels=labels)
+
+
+def adaptive_sweep(platform: str, workloads: Iterable[str], section: str,
+                   field: str, values: Sequence[Any], *,
+                   labels: Optional[Sequence[str]] = None,
+                   metric: Any = "operations_per_second",
+                   tolerance: float = 0.05,
+                   budget: Optional[int] = None,
+                   seed_points: int = 5,
+                   max_rounds: int = 12,
+                   settle_rounds: Optional[int] = 3,
+                   name: Optional[str] = None,
+                   scale: Optional[ExperimentScale] = None,
+                   workers: Optional[int] = None,
+                   cache_dir: Optional[Path] = None,
+                   executor: Union[str, Executor, None] = None,
+                   shards: Optional[int] = None,
+                   spool_dir: Optional[Path] = None,
+                   wait_timeout: Optional[float] = None
+                   ) -> AdaptiveSweepResult:
+    """One-shot :meth:`Session.adaptive_sweep` with a throwaway session.
+
+    *cache_dir* matters more here than for the other one-shots: pointing
+    it at a persistent directory is what lets a re-run (or a sweep that
+    shares cells with an earlier fixed-grid study) resolve those cells as
+    zero-cost cache skips.
+    """
+    _validate_execution_knobs(executor, shards, spool_dir, wait_timeout)
+    session = Session(scale=scale, workers=workers, cache_dir=cache_dir,
+                      executor=executor, shards=shards, spool_dir=spool_dir,
+                      wait_timeout=wait_timeout)
+    return session.adaptive_sweep(
         platform, workloads, section, field, values, labels=labels,
-        shards=shards)
+        metric=metric, tolerance=tolerance, budget=budget,
+        seed_points=seed_points, max_rounds=max_rounds,
+        settle_rounds=settle_rounds, name=name)
 
 
 def run_sharded(platforms: Iterable[str], workloads: Iterable[str], *,

@@ -55,6 +55,7 @@ from .handle import (
     ExperimentHandle,
     ProgressSnapshot,
     StreamedRun,
+    compute_eta,
 )
 
 __all__ = [
@@ -78,6 +79,7 @@ __all__ = [
     "ShardedExecutor",
     "StreamedRun",
     "append_event",
+    "compute_eta",
     "event_from_record",
     "read_events",
     "resolve_executor",

@@ -33,6 +33,7 @@ cache (a later ``submit`` of the same specs resumes from it), and
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -93,6 +94,23 @@ class StreamedRun:
     result: RunResult
     cache_hit: bool
     remote: bool = False
+
+
+def compute_eta(completed: int, total: int,
+                elapsed_s: float) -> Optional[float]:
+    """Linear-extrapolation ETA, or ``None`` when there is no basis for one.
+
+    The guards matter more than the estimate: with nothing completed, an
+    already-finished run, zero elapsed time (a clock too coarse to have
+    ticked between submit and the first snapshot — or a burst of pure
+    cache hits) or a non-finite extrapolation, the honest answer is "no
+    estimate", never a division by zero or an ``inf`` that would poison a
+    ``repro.events/1`` record downstream.
+    """
+    if completed <= 0 or total <= completed or elapsed_s <= 0.0:
+        return None
+    eta = elapsed_s / completed * (total - completed)
+    return eta if math.isfinite(eta) else None
 
 
 @dataclass(frozen=True)
@@ -182,15 +200,12 @@ class ExperimentHandle:
         """Snapshot of completion; advances as the handle is consumed."""
         completed, total = len(self._runs), len(self._specs)
         elapsed = time.monotonic() - self._started
-        if 0 < completed < total:
-            eta: Optional[float] = elapsed / completed * (total - completed)
-        else:
-            eta = None
         return ProgressSnapshot(
             completed=completed, total=total,
             cache_hits=sum(1 for run in self._runs.values()
                            if run.cache_hit),
-            elapsed_s=elapsed, eta_s=eta)
+            elapsed_s=elapsed,
+            eta_s=compute_eta(completed, total, elapsed))
 
     # -- event pump ------------------------------------------------------------------
 

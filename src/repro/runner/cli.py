@@ -29,6 +29,20 @@ Subcommands
     versus the fresh smoke run.  Both paths accept glob patterns, each of
     which must resolve to exactly one artifact.
 
+``sweep --platform P --workloads W... --section S --field F --values V...``
+    Sweep one config field of one platform across a value grid and write
+    the experiment artifact (same ``(label, workload)`` keys the Figure
+    20a study plots).  With ``--adaptive``, only a coarse seed of the
+    grid is evaluated and refinement bisects wherever the metric curve's
+    discrete curvature exceeds ``--tolerance`` (knee finding): cells
+    whose content-addressed cache key is already resolved cost nothing,
+    ``--budget`` caps the total estimated simulated accesses (pruned
+    cells are recorded, not silently dropped), settled knees stop early,
+    and the full refinement trace lands next to the artifact as a
+    ``repro.sweep/1`` record.  Evaluated cells are bit-identical to the
+    fixed-grid run of the same grid — ``repro report --diff`` between the
+    two passes at threshold 0.
+
 ``shard plan|work|merge|status``
     The distributed execution tier (see :mod:`repro.distrib`): ``plan``
     partitions one experiment into N ``repro.shard/1`` manifests under a
@@ -238,6 +252,77 @@ def build_parser() -> argparse.ArgumentParser:
                         help="relative regression tolerance for --diff "
                              f"(default: {DEFAULT_THRESHOLD})")
     report.set_defaults(handler=cmd_report)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep one config field across a value grid "
+                      "(--adaptive: refine where the metric curve bends)")
+    sweep.add_argument("--platform", required=True,
+                       help="platform registry name to sweep")
+    sweep.add_argument("--workloads", nargs="+", required=True,
+                       metavar="WORKLOAD",
+                       help="workloads to evaluate at every grid value")
+    sweep.add_argument("--section", required=True,
+                       help="config section holding the swept field "
+                            "(e.g. hams)")
+    sweep.add_argument("--field", required=True,
+                       help="config field to sweep (e.g. mos_page_bytes)")
+    sweep.add_argument("--values", nargs="+", required=True, metavar="VALUE",
+                       help="the value grid (numbers, strictly increasing "
+                            "for --adaptive)")
+    sweep.add_argument("--labels", nargs="+", default=None, metavar="LABEL",
+                       help="per-value result labels (default: the value "
+                            "itself; duplicates are rejected)")
+    sweep.add_argument("--adaptive", action="store_true",
+                       help="evaluate a coarse seed of the grid and refine "
+                            "where the metric's curvature exceeds the "
+                            "tolerance instead of enumerating every cell")
+    sweep.add_argument("--metric", default="operations_per_second",
+                       help="RunResult attribute driving refinement "
+                            "(default: operations_per_second)")
+    sweep.add_argument("--tolerance", type=float, default=0.05,
+                       help="curvature threshold above which a grid "
+                            "interval is bisected (default: 0.05)")
+    sweep.add_argument("--budget", type=int, default=None,
+                       help="cap on total estimated simulated accesses; "
+                            "candidates past it are pruned and reported")
+    sweep.add_argument("--seed-points", type=int, default=5,
+                       help="grid cells evaluated per workload in round 0 "
+                            "(default: 5, endpoints always included)")
+    sweep.add_argument("--rounds", type=int, default=12,
+                       help="refinement round cap (default: 12)")
+    sweep.add_argument("--settle-rounds", type=int, default=3,
+                       help="consecutive rounds a workload's knee must "
+                            "hold still to stop refining it early "
+                            "(default: 3; 0 disables early stop)")
+    sweep.add_argument("--name", default="sweep",
+                       help="artifact name (default: sweep)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: $REPRO_WORKERS or "
+                            "CPU count)")
+    sweep.add_argument("--output-dir", type=Path, default=DEFAULT_OUTPUT_DIR,
+                       help="directory for the experiment artifact and the "
+                            "repro.sweep/1 record "
+                            "(default: benchmarks/results)")
+    sweep.add_argument("--cache-dir", type=Path, default=None,
+                       help="content-addressed run cache "
+                            "(default: <output-dir>/cache); a shared cache "
+                            "is what makes re-runs and overlapping sweeps "
+                            "cost zero for already-resolved cells")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the run cache entirely")
+    sweep.add_argument("--force", action="store_true",
+                       help="ignore cache hits but refresh stored runs")
+    sweep.add_argument("--executor", default=None, metavar="TIER",
+                       help=f"execution tier: one of {EXECUTOR_NAMES} or "
+                            f"serve:<url> (default: pool)")
+    sweep.add_argument("--shards", type=int, default=None,
+                       help="shard count for the sharded executor")
+    sweep.add_argument("--spool", type=Path, default=None,
+                       help="spool directory for the sharded executor")
+    _add_scale_arguments(sweep)
+    sweep.add_argument("--quiet", action="store_true",
+                       help="only print the one-line summary")
+    sweep.set_defaults(handler=cmd_sweep)
 
     shard = subparsers.add_parser(
         "shard", help="distributed sharded execution over a spool directory")
@@ -463,6 +548,124 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"{preset.name}: {preset.run_count} runs in {elapsed:.2f}s "
               f"({handle.executor} executor, {session.workers} workers, "
               f"{hits} cached) -> {path}")
+    return 0
+
+
+def _parse_sweep_value(raw: str):
+    """CLI sweep values: int where possible, float next, else the string."""
+    for parse in (int, float):
+        try:
+            return parse(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    scale = _build_scale(args)
+    cache_dir: Optional[Path]
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = args.output_dir / "cache"
+    values = [_parse_sweep_value(raw) for raw in args.values]
+    executor = args.executor
+    if executor is None and args.shards:
+        executor = "sharded"
+
+    try:
+        session = Session(scale=scale, workers=args.workers,
+                          cache_dir=cache_dir, force=args.force,
+                          executor=executor, shards=args.shards,
+                          spool_dir=args.spool)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    try:
+        if args.adaptive:
+            from ..sweep import write_sweep_record
+
+            def narrate(round_) -> None:
+                ran = sum(cell.cost for cell in round_.evaluated)
+                print(f"{args.name}: round {round_.number}: "
+                      f"{len(round_.evaluated)} evaluated, "
+                      f"{len(round_.skipped)} cached, "
+                      f"{len(round_.pruned)} pruned "
+                      f"({ran} accesses)", file=sys.stderr)
+
+            result = session.adaptive_sweep(
+                args.platform, args.workloads, args.section, args.field,
+                values, labels=args.labels, metric=args.metric,
+                tolerance=args.tolerance, budget=args.budget,
+                seed_points=args.seed_points, max_rounds=args.rounds,
+                settle_rounds=args.settle_rounds or None, name=args.name,
+                observer=None if args.quiet else narrate)
+            experiment = result.experiment
+        else:
+            experiment = session.sweep(
+                args.platform, args.workloads, args.section, args.field,
+                values, labels=args.labels)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    meta = {
+        "sweep": {
+            "mode": "adaptive" if args.adaptive else "grid",
+            "platform": args.platform,
+            "section": args.section,
+            "field": args.field,
+            "values": values,
+        },
+        "workers": session.workers,
+        "elapsed_s": elapsed,
+    }
+    if args.adaptive:
+        meta["sweep"].update({
+            "metric": result.metric,
+            "tolerance": result.tolerance,
+            "budget": result.budget,
+            "evaluated": len(result.evaluated_cells),
+            "skipped": len(result.skipped_cells),
+            "pruned": len(result.pruned_cells),
+            "grid_cost": result.grid_cost,
+            "spent_cost": result.spent_cost,
+            "stop_reason": result.stop_reason,
+            "knees": result.knees,
+            "record": f"{args.name}.sweep.json",
+        })
+    path = write_experiment_artifact(args.output_dir, args.name, experiment,
+                                     session.config, meta=meta)
+    if not args.quiet:
+        print()
+        print(_summarise(experiment, args.name, args.platform))
+        print()
+    if args.adaptive:
+        record_path = write_sweep_record(args.output_dir, args.name, result,
+                                         session.config)
+        knees = ", ".join(
+            f"{workload}={value}" for workload, value in
+            result.knees.items())
+        saved = (1.0 - result.spent_cost / result.grid_cost) \
+            if result.grid_cost else 0.0
+        print(f"{args.name}: {len(result.evaluated_cells)} of "
+              f"{len(values) * len(args.workloads)} cells evaluated "
+              f"({len(result.skipped_cells)} cached, "
+              f"{len(result.pruned_cells)} pruned) in "
+              f"{len(result.rounds)} round(s), {elapsed:.2f}s; "
+              f"spent {result.spent_cost}/{result.grid_cost} accesses "
+              f"({saved:.0%} saved), stop: {result.stop_reason}; "
+              f"knees: {knees}")
+        print(f"{args.name}: artifact -> {path}; refinement trace -> "
+              f"{record_path}")
+    else:
+        print(f"{args.name}: {len(values) * len(args.workloads)} runs in "
+              f"{elapsed:.2f}s -> {path}")
     return 0
 
 

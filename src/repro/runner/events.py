@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -96,8 +97,14 @@ class Event:
                      "experiment", "total", "executor", "job", "tenant",
                      "state"):
             value = getattr(self, name)
-            if value is not None:
-                record[name] = value
+            if value is None:
+                continue
+            # json.dumps would happily emit bare Infinity/NaN — tokens no
+            # strict JSON parser (or a tail reader on another host) accepts.
+            # A non-finite metric is "no value", same as None.
+            if isinstance(value, float) and not math.isfinite(value):
+                continue
+            record[name] = value
         if self.remote:
             record["remote"] = True
         return record

@@ -1,0 +1,51 @@
+"""Adaptive sweeps: spend simulated accesses where the signal is.
+
+:class:`AdaptiveSweepDriver` layers knee-finding refinement on
+:meth:`Session.submit` and the content-addressed run cache; the
+``repro.sweep/1`` record (:mod:`repro.sweep.record`) makes each run
+auditable and resumable.  Use :meth:`repro.api.Session.adaptive_sweep`
+or the one-shot :func:`repro.api.adaptive_sweep` rather than building
+the driver by hand.
+"""
+
+from .driver import (
+    STOP_BUDGET,
+    STOP_CONVERGED,
+    STOP_MAX_ROUNDS,
+    STOP_SETTLED,
+    AdaptiveSweepDriver,
+    AdaptiveSweepResult,
+    SweepCell,
+    SweepRound,
+    curvature_scores,
+    knee_index,
+    refinement_candidates,
+    seed_indices,
+    sweep_labels,
+)
+from .record import (
+    SWEEP_SCHEMA,
+    load_sweep_record,
+    sweep_record,
+    write_sweep_record,
+)
+
+__all__ = [
+    "AdaptiveSweepDriver",
+    "AdaptiveSweepResult",
+    "SweepCell",
+    "SweepRound",
+    "STOP_BUDGET",
+    "STOP_CONVERGED",
+    "STOP_MAX_ROUNDS",
+    "STOP_SETTLED",
+    "curvature_scores",
+    "knee_index",
+    "refinement_candidates",
+    "seed_indices",
+    "sweep_labels",
+    "SWEEP_SCHEMA",
+    "load_sweep_record",
+    "sweep_record",
+    "write_sweep_record",
+]

@@ -1,0 +1,95 @@
+"""The ``repro.sweep/1`` record: an adaptive sweep's full audit trail.
+
+The experiment artifact (``repro.experiment/1``) holds the *results* of an
+adaptive sweep — every resolved cell, bit-identical to its fixed-grid
+counterpart, diffable with ``repro report --diff``.  This record holds the
+*decisions*: which cells each refinement round evaluated, which resolved
+from the content-addressed cache, which fell to the budget cap or to a
+settled knee, what each cost, and where the knees landed.  Together with
+the run cache it makes an adaptive run auditable (exactly which part of
+the grid was not explored, and why) and resumable (re-running the same
+sweep against the same cache streams every prior cell back as a skip and
+only pays for cells the previous run never reached).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+from ..config import SystemConfig
+from ..runner.artifacts import (
+    atomic_write_json,
+    config_hash_of,
+    scale_to_dict,
+)
+from .driver import AdaptiveSweepResult
+
+#: Bump when the serialised layout of the sweep record changes.
+SWEEP_SCHEMA = "repro.sweep/1"
+
+
+def sweep_record(name: str, sweep: AdaptiveSweepResult,
+                 config: SystemConfig) -> Dict[str, Any]:
+    """Assemble the versioned ``repro.sweep/1`` payload."""
+    rounds = []
+    for round_ in sweep.rounds:
+        rounds.append({
+            "number": round_.number,
+            "evaluated": [cell.to_record() for cell in round_.evaluated],
+            "skipped": [cell.to_record() for cell in round_.skipped],
+            "pruned": [{"workload": workload, "index": index}
+                       for workload, index in round_.pruned],
+            "settled": [{"workload": workload, "index": index}
+                        for workload, index in round_.settled],
+        })
+    return {
+        "schema": SWEEP_SCHEMA,
+        "experiment": name,
+        "created_unix": time.time(),
+        "platform": sweep.platform,
+        "section": sweep.section,
+        "field": sweep.field_name,
+        "metric": sweep.metric,
+        "tolerance": sweep.tolerance,
+        "budget": sweep.budget,
+        "seed_points": sweep.seed_points,
+        "settle_rounds": sweep.settle_rounds,
+        "scale": scale_to_dict(sweep.experiment.scale),
+        "config_hash": config_hash_of(config),
+        "values": list(sweep.values),
+        "labels": list(sweep.labels),
+        "workloads": list(sweep.workloads),
+        "rounds": rounds,
+        "knees": dict(sweep.knees),
+        "totals": {
+            "evaluated": len(sweep.evaluated_cells),
+            "skipped": len(sweep.skipped_cells),
+            "pruned": len(sweep.pruned_cells),
+            "settled": len(sweep.settled_cells),
+            "grid_cells": len(sweep.values) * len(sweep.workloads),
+            "grid_cost": sweep.grid_cost,
+            "spent_cost": sweep.spent_cost,
+        },
+        "stop_reason": sweep.stop_reason,
+    }
+
+
+def write_sweep_record(directory: Path, name: str,
+                       sweep: AdaptiveSweepResult,
+                       config: SystemConfig) -> Path:
+    """Write ``<directory>/<name>.sweep.json`` and return its path."""
+    path = Path(directory) / f"{name}.sweep.json"
+    return atomic_write_json(path, sweep_record(name, sweep, config))
+
+
+def load_sweep_record(path: Path) -> Dict[str, Any]:
+    """Read and validate one ``repro.sweep/1`` record."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("schema") != SWEEP_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported sweep record schema "
+            f"{payload.get('schema')!r} (expected {SWEEP_SCHEMA})")
+    return payload
